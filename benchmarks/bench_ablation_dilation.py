@@ -1,0 +1,20 @@
+"""Ablation: masking-window time dilation tracks the hazard mass."""
+
+from conftest import emit
+
+from repro.harness.registry import get_experiment
+
+
+def test_ablation_dilation(benchmark):
+    experiment = get_experiment("ablation.dilation")
+    result = benchmark.pedantic(
+        lambda: experiment.run(), rounds=1, iterations=1
+    )
+    emit(result)
+    avfs = [float(c) for c in result.tables[0].column("AVF")]
+    errors = [
+        abs(float(c.strip("%+-"))) / 100
+        for c in result.tables[0].column("AVF-step error")
+    ]
+    assert max(avfs) - min(avfs) < 1e-9  # AVF is dilation-invariant
+    assert errors[-1] > errors[0]  # error follows the dilated mass

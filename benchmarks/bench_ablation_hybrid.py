@@ -1,0 +1,23 @@
+"""Ablation: the validity-aware hybrid methodology."""
+
+from conftest import emit
+
+from repro.harness.registry import get_experiment
+
+
+def test_ablation_hybrid(benchmark):
+    experiment = get_experiment("ablation.hybrid")
+    result = benchmark.pedantic(
+        lambda: experiment.run(), rounds=1, iterations=1
+    )
+    emit(result)
+    hybrid_errors = [
+        abs(float(c.strip("%+-"))) / 100
+        for c in result.tables[0].column("hybrid error")
+    ]
+    plain_errors = [
+        abs(float(c.strip("%+-"))) / 100
+        for c in result.tables[0].column("AVF+SOFR error")
+    ]
+    assert max(hybrid_errors) < 0.01
+    assert max(plain_errors) > 0.3  # blind AVF+SOFR fails the sweep

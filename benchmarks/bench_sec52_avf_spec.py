@@ -1,0 +1,21 @@
+"""Section 5.2: the AVF step for SPEC across all N x S.
+
+Paper: relative error < 0.5% for each SPEC benchmark, all N and S.
+"""
+
+from conftest import emit
+
+from repro.harness.registry import get_experiment
+
+
+def test_sec52_avf_spec(benchmark):
+    experiment = get_experiment("sec5.2")
+    result = benchmark.pedantic(
+        lambda: experiment.run(), rounds=1, iterations=1
+    )
+    emit(result)
+    errors = [
+        abs(float(c.strip("%+-"))) / 100
+        for c in result.tables[0].column("AVF-step error")
+    ]
+    assert max(errors) < 0.005

@@ -1,0 +1,14 @@
+"""Table 1: base machine configuration + simulator behaviour."""
+
+from conftest import emit
+
+from repro.harness.registry import get_experiment
+
+
+def test_table1_machine_config(benchmark):
+    experiment = get_experiment("table1")
+    result = benchmark.pedantic(
+        lambda: experiment.run(), rounds=1, iterations=1
+    )
+    emit(result)
+    assert len(result.tables[0]) >= 17  # every Table-1 row present

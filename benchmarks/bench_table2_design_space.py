@@ -1,0 +1,15 @@
+"""Table 2: the design-space grid."""
+
+from conftest import emit
+
+from repro.harness.registry import get_experiment
+
+
+def test_table2_design_space(benchmark):
+    experiment = get_experiment("table2")
+    result = benchmark.pedantic(
+        lambda: experiment.run(), rounds=1, iterations=1
+    )
+    emit(result)
+    # 5 workload families x 5 N x 5 S x 5 C = 625 points.
+    assert "625" in result.headline

@@ -1,0 +1,28 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one paper artifact through
+pytest-benchmark. Trials and SPEC window sizes default to fast settings;
+set ``REPRO_MC_TRIALS`` / ``REPRO_SPEC_INSTRUCTIONS`` for paper-scale
+runs. Every benchmark prints the regenerated table so ``--benchmark-only
+-s`` output doubles as the artifact log.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Trials for Monte-Carlo-backed benchmarks (paper: 1,000,000).
+BENCH_TRIALS = int(os.environ.get("REPRO_MC_TRIALS", "50000"))
+
+
+@pytest.fixture(scope="session")
+def bench_trials() -> int:
+    return BENCH_TRIALS
+
+
+def emit(result) -> None:
+    """Print an experiment result into the bench log."""
+    print()
+    print(result.render())

@@ -1,0 +1,71 @@
+"""Section-4.2 walkthrough: the `combined` two-benchmark workload.
+
+Builds the paper's `combined` workload — two SPEC benchmarks
+concatenated into a 24-hour loop, each half cycling one benchmark's
+simulator-derived masking trace — and shows how the two-time-scale
+structure defeats the AVF step at high raw error rates while SoftArch
+stays exact.
+
+Run:  python examples/combined_workload.py
+"""
+
+from repro import MonteCarloConfig
+from repro.core import (
+    Component,
+    avf_mttf,
+    exact_component_mttf,
+    monte_carlo_component_mttf,
+    softarch_component_mttf,
+)
+from repro.harness.spec_setup import processor_profile
+from repro.units import SECONDS_PER_DAY
+from repro.workloads import combined_workload
+
+
+def main() -> None:
+    print("building masking traces for gzip and swim ...")
+    gzip_profile = processor_profile("gzip")
+    swim_profile = processor_profile("swim")
+    workload = combined_workload(gzip_profile, swim_profile)
+    print(
+        f"combined workload: period 24h, gzip half AVF "
+        f"{gzip_profile.avf:.3f}, swim half AVF {swim_profile.avf:.3f}, "
+        f"overall AVF {workload.avf:.3f}"
+    )
+    print()
+    header = (
+        f"{'N x S':>8s} {'AVF MTTF (d)':>13s} {'exact (d)':>11s} "
+        f"{'SoftArch (d)':>13s} {'MC (d)':>10s} {'AVF error':>10s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for n_times_s in (1e8, 1e10, 1e11, 1e12):
+        rate = n_times_s * 1e-8 / (8760 * 3600)  # baseline/bit/year
+        avf_estimate = avf_mttf(rate, workload)
+        exact = exact_component_mttf(rate, workload)
+        softarch = softarch_component_mttf(rate, workload)
+        monte = monte_carlo_component_mttf(
+            Component("proc", rate, workload),
+            MonteCarloConfig(trials=60_000, seed=11),
+        )
+        error = (avf_estimate - exact) / exact
+        print(
+            f"{n_times_s:>8.0e} {avf_estimate / SECONDS_PER_DAY:>13.4g} "
+            f"{exact / SECONDS_PER_DAY:>11.4g} "
+            f"{softarch / SECONDS_PER_DAY:>13.4g} "
+            f"{monte.mttf_seconds / SECONDS_PER_DAY:>10.4g} "
+            f"{error:>+10.2%}"
+        )
+    print()
+    print(
+        "The AVF step underestimates the MTTF here (negative error): "
+        "failures concentrate in the more-vulnerable benchmark's half "
+        "of the loop, while the AVF averages vulnerability across both "
+        "halves — Section 5.2's 'AVF may either over- or under-estimate "
+        "MTTF'. SoftArch and Monte Carlo agree with first principles "
+        "throughout."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""Figure-6(b) walkthrough: when SOFR misleads a datacenter operator.
+
+A cluster of identical servers runs a diurnal workload (busy by day,
+idle by night — the paper's `day` pattern). Each node's 12.5MB of
+vulnerable state sees ~1 raw soft error per year. The standard
+methodology (component MTTFs summed by SOFR) and the true first-failure
+behaviour diverge dramatically as the cluster grows — and the
+exponentiality diagnostics show exactly why: the masked time to failure
+stops being exponential.
+
+Run:  python examples/datacenter_cluster.py
+"""
+
+from repro import (
+    Component,
+    MonteCarloConfig,
+    SystemModel,
+    first_principles_mttf,
+    monte_carlo_mttf,
+    sofr_mttf_from_values,
+)
+from repro.core import monte_carlo_component_mttf
+from repro.core.montecarlo import sample_system_ttf
+from repro.reliability import FailureProcess, exponentiality_report
+from repro.units import SECONDS_PER_DAY
+from repro.workloads import day_workload
+
+#: N = 1e8 bits/node at the 1e-8 errors/year/bit baseline = 1/year.
+RATE_PER_SECOND = 1.0 / (365.25 * 86400)
+
+
+def main() -> None:
+    profile = day_workload()
+    node = Component("node", RATE_PER_SECOND, profile)
+    node_mttf = monte_carlo_component_mttf(
+        node, MonteCarloConfig(trials=100_000, seed=1)
+    )
+    print(
+        f"single node: raw rate 1/year, AVF {profile.avf:.2f}, "
+        f"MC MTTF {node_mttf.mttf_seconds / SECONDS_PER_DAY:.0f} days"
+    )
+    print()
+    header = (
+        f"{'nodes':>8s} {'SOFR (h)':>10s} {'exact (h)':>10s} "
+        f"{'MC (h)':>10s} {'SOFR error':>11s} {'TTF CoV':>8s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for cluster_size in (8, 500, 5_000, 50_000, 500_000):
+        system = SystemModel(
+            [
+                Component(
+                    "node",
+                    RATE_PER_SECOND,
+                    profile,
+                    multiplicity=cluster_size,
+                )
+            ]
+        )
+        sofr = sofr_mttf_from_values(
+            [node_mttf.mttf_seconds], [cluster_size]
+        ).mttf_seconds
+        exact = first_principles_mttf(system).mttf_seconds
+        monte = monte_carlo_mttf(
+            system, MonteCarloConfig(trials=100_000, seed=2)
+        ).mttf_seconds
+        cov = FailureProcess(
+            system.combined_intensity()
+        ).coefficient_of_variation()
+        error = (sofr - exact) / exact
+        print(
+            f"{cluster_size:>8d} {sofr / 3600:>10.2f} {exact / 3600:>10.2f} "
+            f"{monte / 3600:>10.2f} {error:>+11.1%} {cov:>8.2f}"
+        )
+    print()
+
+    # Why SOFR breaks: diurnal masking bends the time-to-failure
+    # distribution away from exponential. The distortion peaks where
+    # the MTTF spans a few day/night cycles (here ~2000 nodes); at
+    # extreme scale failures collapse into the first busy morning and
+    # the distribution degenerates again.
+    system = SystemModel(
+        [Component("node", RATE_PER_SECOND, profile, multiplicity=2_000)]
+    )
+    samples = sample_system_ttf(
+        system, MonteCarloConfig(trials=50_000, seed=3)
+    )
+    report = exponentiality_report(samples)
+    cov = FailureProcess(
+        system.combined_intensity()
+    ).coefficient_of_variation()
+    print(
+        f"2000-node cluster TTF: exact CoV={cov:.2f} (exponential would "
+        f"be 1.00), KS distance={report.ks_distance:.3f} -> "
+        f"looks_exponential={report.looks_exponential}"
+    )
+    print(
+        "SOFR assumes exponential component lifetimes (Section 2.3); "
+        "diurnal masking violates that at scale, which is the paper's "
+        "central warning."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""The paper's conclusion, operationalised: a hybrid methodology.
+
+The paper ends by motivating "future work to determine the best
+combination of methodologies". This example demonstrates the library's
+hybrid estimator, which picks the cheapest method whose assumptions
+hold at each configuration — the plain AVF step in the safe regime, the
+first-order phase-skew correction in the caution regime, and exact
+first principles where the assumptions break — and compares all three
+against ground truth across the full severity sweep.
+
+Run:  python examples/hybrid_methodology.py
+"""
+
+from repro.core import (
+    Component,
+    SystemModel,
+    avf_sofr_mttf,
+    first_principles_mttf,
+    hybrid_system_mttf,
+)
+from repro.units import SECONDS_PER_DAY
+from repro.workloads import day_workload
+
+
+def main() -> None:
+    profile = day_workload()
+    header = (
+        f"{'cluster':>8s} {'raw/node/day':>13s} {'regime':>12s} "
+        f"{'method chosen':>26s} {'AVF+SOFR err':>13s} {'hybrid err':>11s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for nodes, errors_per_day in (
+        (2, 1e-6),
+        (100, 1e-4),
+        (100, 3e-3),
+        (5_000, 3e-3),
+        (50_000, 0.1),
+    ):
+        rate = errors_per_day / SECONDS_PER_DAY
+        system = SystemModel(
+            [Component("node", rate, profile, multiplicity=nodes)]
+        )
+        exact = first_principles_mttf(system).mttf_seconds
+        plain = avf_sofr_mttf(system).mttf_seconds
+        hybrid = hybrid_system_mttf(system)
+        plain_err = (plain - exact) / exact
+        hybrid_err = (hybrid.estimate.mttf_seconds - exact) / exact
+        print(
+            f"{nodes:>8d} {errors_per_day:>13.1e} "
+            f"{hybrid.regime.value:>12s} "
+            f"{hybrid.estimate.method:>26s} {plain_err:>+13.2%} "
+            f"{hybrid_err:>+11.4%}"
+        )
+    print()
+    print(
+        "The hybrid estimator stays within a fraction of a percent of "
+        "first principles everywhere, paying the exact-computation cost "
+        "only where the AVF+SOFR assumptions actually fail — the "
+        "'best combination of methodologies' the paper calls for."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Section-5.1 walkthrough: a POWER4-like core running SPEC-like code.
+
+Synthesizes a SPEC CPU2000-style instruction trace, runs it through the
+cycle-level simulator to obtain the masking trace, then estimates the
+MTTF of the paper's four components (integer unit, FP unit, decode
+unit, register file) with the AVF step, Monte Carlo, first principles,
+and SoftArch — reproducing the paper's finding that all methods agree
+for today's uniprocessors.
+
+Run:  python examples/spec_uniprocessor.py [benchmark] [instructions]
+"""
+
+import sys
+
+from repro import MonteCarloConfig, SECONDS_PER_YEAR
+from repro.core import (
+    Component,
+    avf_mttf,
+    exact_component_mttf,
+    monte_carlo_component_mttf,
+    softarch_component_mttf,
+)
+from repro.microarch import MachineConfig, simulate
+from repro.ser import paper_unit_rate_per_second
+from repro.workloads import spec_benchmark, synthesize_trace
+
+COMPONENTS = ("int_unit", "fp_unit", "decode_unit", "register_file")
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "gzip"
+    instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 40_000
+
+    print(f"synthesizing {instructions} instructions of {benchmark!r} ...")
+    trace = synthesize_trace(
+        spec_benchmark(benchmark), instructions, seed=0
+    )
+    print("simulating on the Table-1 POWER4-like configuration ...")
+    result = simulate(trace, MachineConfig.power4_like(), workload=benchmark)
+    print()
+    print(result.stats.summary())
+    print()
+
+    masking = result.masking_trace
+    header = (
+        f"{'component':15s} {'AVF':>7s} {'AVF MTTF':>12s} "
+        f"{'exact MTTF':>12s} {'SoftArch':>12s} {'MC':>12s} {'err':>8s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name in COMPONENTS:
+        rate = paper_unit_rate_per_second(name)
+        profile = masking.profile(name)
+        component = Component(name, rate, profile)
+        avf_estimate = avf_mttf(rate, profile)
+        exact = exact_component_mttf(rate, profile)
+        softarch = softarch_component_mttf(rate, profile)
+        monte = monte_carlo_component_mttf(
+            component, MonteCarloConfig(trials=50_000, seed=7)
+        )
+        error = (avf_estimate - exact) / exact
+        print(
+            f"{name:15s} {profile.avf:7.4f} "
+            f"{avf_estimate / SECONDS_PER_YEAR:12.4g} "
+            f"{exact / SECONDS_PER_YEAR:12.4g} "
+            f"{softarch / SECONDS_PER_YEAR:12.4g} "
+            f"{monte.mttf_years:12.4g} {error:+8.4%}"
+        )
+    print()
+    print(
+        "All methods agree to within Monte-Carlo noise — the paper's "
+        "Section 5.1 result: AVF+SOFR is sound for today's "
+        "uniprocessors running SPEC-like workloads (MTTFs in years)."
+    )
+
+
+if __name__ == "__main__":
+    main()

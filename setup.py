@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The project is configured in pyproject.toml; this file exists so that
+environments without the ``wheel`` package (offline CI) can fall back to
+``pip install -e . --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,115 @@
+"""repro — reproduction of "Architecture-Level Soft Error Analysis:
+Examining the Limits of Common Assumptions" (Li, Adve, Bose, Rivers,
+DSN 2007).
+
+The library answers the paper's question — *when do the AVF and SOFR
+steps of the standard soft-error MTTF methodology break down?* — with a
+complete toolchain:
+
+* a cycle-level out-of-order processor model (:mod:`repro.microarch`)
+  producing masking traces for SPEC-like workloads
+  (:mod:`repro.workloads`);
+* vulnerability-profile algebra (:mod:`repro.masking`) and raw-error-rate
+  models (:mod:`repro.ser`);
+* every MTTF method the paper studies (:mod:`repro.core`): the AVF step,
+  the SOFR step, Monte-Carlo simulation, exact first-principles closed
+  forms, and SoftArch;
+* the Section-3 analytical models (:mod:`repro.analytical`) and the
+  experiment harness regenerating every table and figure
+  (:mod:`repro.harness`).
+
+Quickstart::
+
+    import repro
+
+    profile = repro.busy_idle_profile(busy_time=repro.days(0.5),
+                                      period=repro.days(1))
+    component = repro.Component("cache", rate_per_second=1e-7,
+                                profile=profile)
+    system = repro.SystemModel([component])
+    print(repro.avf_sofr_mttf(system))          # the standard method
+    print(repro.first_principles_mttf(system))  # the exact answer
+    print(repro.validity_report(system).summary())
+"""
+
+from .core import (
+    Component,
+    MethodComparison,
+    MonteCarloConfig,
+    PAPER_TRIAL_COUNT,
+    Regime,
+    SystemModel,
+    ValidityReport,
+    avf_mttf,
+    avf_sofr_mttf,
+    compare_methods,
+    exact_component_mttf,
+    first_principles_mttf,
+    monte_carlo_component_mttf,
+    monte_carlo_mttf,
+    softarch_component_mttf,
+    softarch_mttf,
+    sofr_mttf_from_components,
+    sofr_mttf_from_values,
+    validity_report,
+)
+from .masking import (
+    MaskingTrace,
+    NestedProfile,
+    PiecewiseProfile,
+    busy_idle_profile,
+    from_cycle_mask,
+)
+from .reliability import FailureProcess, MTTFEstimate
+from .ser import ComponentErrorModel, component_rate_per_second
+from .units import (
+    BASE_CLOCK_HZ,
+    BASELINE_RATE_PER_BIT_YEAR,
+    SECONDS_PER_DAY,
+    SECONDS_PER_WEEK,
+    SECONDS_PER_YEAR,
+    days,
+    hours,
+    years,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Component",
+    "MethodComparison",
+    "MonteCarloConfig",
+    "PAPER_TRIAL_COUNT",
+    "Regime",
+    "SystemModel",
+    "ValidityReport",
+    "avf_mttf",
+    "avf_sofr_mttf",
+    "compare_methods",
+    "exact_component_mttf",
+    "first_principles_mttf",
+    "monte_carlo_component_mttf",
+    "monte_carlo_mttf",
+    "softarch_component_mttf",
+    "softarch_mttf",
+    "sofr_mttf_from_components",
+    "sofr_mttf_from_values",
+    "validity_report",
+    "MaskingTrace",
+    "NestedProfile",
+    "PiecewiseProfile",
+    "busy_idle_profile",
+    "from_cycle_mask",
+    "FailureProcess",
+    "MTTFEstimate",
+    "ComponentErrorModel",
+    "component_rate_per_second",
+    "BASE_CLOCK_HZ",
+    "BASELINE_RATE_PER_BIT_YEAR",
+    "SECONDS_PER_DAY",
+    "SECONDS_PER_WEEK",
+    "SECONDS_PER_YEAR",
+    "days",
+    "hours",
+    "years",
+]

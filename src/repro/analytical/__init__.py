@@ -1,0 +1,40 @@
+"""Section-3 analytical models.
+
+* :mod:`~repro.analytical.theorem1` — Theorem 1: the distribution of
+  ``T mod L`` for exponential ``T``, and its uniform limit as ``λL → 0``;
+* :mod:`~repro.analytical.busy_idle` — the Section 3.1.2 closed-form
+  MTTF for the busy/idle loop and the Figure-3 error curves;
+* :mod:`~repro.analytical.sofr_halfnormal` — the Section 3.2.2 SOFR
+  counter-example with the half-normal-square density (Figure 4);
+* :mod:`~repro.analytical.geometric_sum` — the Section 3.2.1 derivation
+  checks (geometric mixture of Erlangs is exponential in the limit).
+"""
+
+from .theorem1 import mod_density, mod_distribution_distance_from_uniform
+from .busy_idle import (
+    avf_step_mttf_busy_idle,
+    busy_idle_mttf_closed_form,
+    figure3_curves,
+    relative_error_busy_idle,
+)
+from .sofr_halfnormal import (
+    figure4_curve,
+    halfnormal_component_mttf,
+    halfnormal_system_mttf_exact,
+    halfnormal_system_mttf_sofr,
+)
+from .geometric_sum import geometric_erlang_mixture_pdf
+
+__all__ = [
+    "mod_density",
+    "mod_distribution_distance_from_uniform",
+    "avf_step_mttf_busy_idle",
+    "busy_idle_mttf_closed_form",
+    "figure3_curves",
+    "relative_error_busy_idle",
+    "figure4_curve",
+    "halfnormal_component_mttf",
+    "halfnormal_system_mttf_exact",
+    "halfnormal_system_mttf_sofr",
+    "geometric_erlang_mixture_pdf",
+]

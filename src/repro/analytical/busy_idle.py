@@ -1,0 +1,142 @@
+"""Section 3.1.2: closed-form MTTF for the busy/idle loop (Figure 3).
+
+The synthetic counter-example program: an infinite loop of iteration
+length ``L`` whose component is active (vulnerable) for the first ``A``
+cycles and idle (masked) for the rest. Appendix A derives the MTTF from
+first principles:
+
+    ``E(X) = (1-e^{-λL})/(1-e^{-λA}) · ( L e^{-λL}/(1-e^{-λL})^2
+             - L e^{-λA} e^{-λL}/(1-e^{-λL})^2 - A e^{-λA}/(1-e^{-λL})
+             + (1/λ)(1-e^{-λA})/(1-e^{-λL})
+             + L (e^{-λA}-e^{-λL})/(1-e^{-λL})^2 )``
+
+which simplifies algebraically to
+
+    ``E(X) = 1/λ + (L - A) e^{-λA} / (1 - e^{-λA})``.
+
+Both forms are implemented: the verbatim form for fidelity to the paper
+(and as a regression target), the simplified form for numerical
+robustness; the tests verify they coincide and that both match the
+general renewal integral and Monte Carlo.
+
+The AVF step instead predicts ``E_AVF(X) = (L/A)·(1/λ)``; Figure 3 plots
+the relative difference for a 100MB cache across L (days) and raw-rate
+scalings.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..ser.rates import cache_bits
+from ..units import (
+    BASELINE_RATE_PER_BIT_YEAR,
+    SECONDS_PER_DAY,
+    per_year_to_per_second,
+)
+
+
+def _validate(lam: float, busy: float, period: float) -> None:
+    if lam <= 0:
+        raise ConfigurationError(f"rate must be positive, got {lam}")
+    if not 0 < busy < period:
+        raise ConfigurationError(
+            f"need 0 < busy < period, got busy={busy}, period={period}"
+        )
+
+
+def busy_idle_mttf_closed_form(
+    lam: float, busy: float, period: float
+) -> float:
+    """Simplified exact MTTF: ``1/λ + (L-A) e^{-λA} / (1 - e^{-λA})``."""
+    _validate(lam, busy, period)
+    idle = period - busy
+    exp_a = math.exp(-lam * busy)
+    one_minus_a = -math.expm1(-lam * busy)
+    return 1.0 / lam + idle * exp_a / one_minus_a
+
+
+def busy_idle_mttf_paper_form(
+    lam: float, busy: float, period: float
+) -> float:
+    """The Appendix-A expression, verbatim (kept as a fidelity check)."""
+    _validate(lam, busy, period)
+    a = busy
+    length = period
+    e_l = math.exp(-lam * length)
+    e_a = math.exp(-lam * a)
+    d = -math.expm1(-lam * length)  # 1 - e^{-λL}
+    one_minus_e_a = -math.expm1(-lam * a)
+    prefactor = d / one_minus_e_a
+    inner = (
+        length * e_l / (d * d)
+        - length * e_a * e_l / (d * d)
+        - a * e_a / d
+        + (1.0 / lam) * one_minus_e_a / d
+        + length * (e_a - e_l) / (d * d)
+    )
+    return prefactor * inner
+
+
+def avf_step_mttf_busy_idle(lam: float, busy: float, period: float) -> float:
+    """The AVF-step prediction: ``(L/A) / λ`` (AVF = A/L)."""
+    _validate(lam, busy, period)
+    return (period / busy) / lam
+
+
+def relative_error_busy_idle(lam: float, busy: float, period: float) -> float:
+    """Figure-3 quantity: ``|E_AVF(X) - E(X)| / E(X)``."""
+    exact = busy_idle_mttf_closed_form(lam, busy, period)
+    approx = avf_step_mttf_busy_idle(lam, busy, period)
+    return abs(approx - exact) / exact
+
+
+@dataclass(frozen=True)
+class Figure3Point:
+    """One point of a Figure-3 curve."""
+
+    loop_days: float
+    rate_scale: float
+    rate_per_second: float
+    exact_mttf: float
+    avf_mttf: float
+    relative_error: float
+
+
+def figure3_curves(
+    cache_megabytes: float = 100.0,
+    loop_days_values: tuple[float, ...] = tuple(range(1, 17)),
+    rate_scales: tuple[float, ...] = (1.0, 3.0, 5.0),
+    busy_fraction: float = 0.5,
+) -> list[Figure3Point]:
+    """Regenerate Figure 3.
+
+    A ``cache_megabytes`` cache (8.39e8 bits at 100MB) runs a loop of
+    ``L`` days, busy for ``busy_fraction`` of each iteration. ``λ`` is
+    the whole-cache raw rate at the baseline per-bit rate times each
+    scale in ``rate_scales`` (the paper: 1x ≈ 10 errors/year, plus 3x
+    and 5x for technology/altitude).
+    """
+    bits = cache_bits(cache_megabytes)
+    base_rate = per_year_to_per_second(bits * BASELINE_RATE_PER_BIT_YEAR)
+    points = []
+    for scale in rate_scales:
+        lam = base_rate * scale
+        for loop_days in loop_days_values:
+            period = loop_days * SECONDS_PER_DAY
+            busy = busy_fraction * period
+            exact = busy_idle_mttf_closed_form(lam, busy, period)
+            approx = avf_step_mttf_busy_idle(lam, busy, period)
+            points.append(
+                Figure3Point(
+                    loop_days=loop_days,
+                    rate_scale=scale,
+                    rate_per_second=lam,
+                    exact_mttf=exact,
+                    avf_mttf=approx,
+                    relative_error=abs(approx - exact) / exact,
+                )
+            )
+    return points

@@ -1,0 +1,69 @@
+"""Section 3.2.1: the geometric-Erlang mixture identity.
+
+When ``λL → 0`` the time to failure decomposes as ``X = Σ_{i=1}^K t_i``
+with ``K ~ Geometric(AVF)`` and ``t_i ~ Exponential(λ)``. The paper sums
+the Erlang mixture
+
+    ``f_X(x) = Σ_i (1-AVF)^{i-1}·AVF·λ(λx)^{i-1} e^{-λx}/(i-1)!
+             = AVF·λ·e^{-AVF·λ·x}``
+
+— an exponential with rate ``λ·AVF``, which is what validates the SOFR
+step in the limit. This module evaluates both sides so the identity can
+be tested numerically (and the truncation error quantified).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+def geometric_erlang_mixture_pdf(
+    x, lam: float, avf: float, terms: int = 200
+):
+    """Partial sum of the Erlang mixture density (vectorised over x)."""
+    if lam <= 0:
+        raise ConfigurationError(f"rate must be positive, got {lam}")
+    if not 0 < avf <= 1:
+        raise ConfigurationError(f"AVF must be in (0, 1], got {avf}")
+    if terms < 1:
+        raise ConfigurationError(f"need at least one term, got {terms}")
+    x = np.asarray(x, dtype=float)
+    if np.any(x < 0):
+        raise ConfigurationError("x must be non-negative")
+    # Σ_i (1-avf)^{i-1} avf λ (λx)^{i-1}/(i-1)! e^{-λx}, i = 1..terms
+    total = np.zeros_like(x)
+    log_lam_x = np.where(x > 0, np.log(lam * np.maximum(x, 1e-300)), -np.inf)
+    for i in range(1, terms + 1):
+        if i == 1:
+            log_mask_factor = 0.0  # (1-avf)^0 == 1 even when avf == 1
+        elif avf == 1:
+            break  # every later term carries a (1-avf) factor of zero
+        else:
+            log_mask_factor = (i - 1) * math.log1p(-avf)
+        # (i-1)·log(λx) must be exactly 0 for i == 1 even at x == 0,
+        # where log(λx) is -inf and 0·(-inf) would be NaN.
+        log_power = 0.0 if i == 1 else (i - 1) * log_lam_x
+        log_term = (
+            log_mask_factor
+            + math.log(avf)
+            + math.log(lam)
+            + log_power
+            - lam * x
+            - math.lgamma(i)
+        )
+        total += np.exp(log_term)
+    return total
+
+
+def exponential_limit_pdf(x, lam: float, avf: float):
+    """The closed-form limit: ``AVF·λ·e^{-AVF·λ·x}``."""
+    if lam <= 0:
+        raise ConfigurationError(f"rate must be positive, got {lam}")
+    if not 0 < avf <= 1:
+        raise ConfigurationError(f"AVF must be in (0, 1], got {avf}")
+    x = np.asarray(x, dtype=float)
+    return avf * lam * np.exp(-avf * lam * x)

@@ -1,0 +1,85 @@
+"""Theorem 1 (Appendix A): the distribution of ``T mod L``.
+
+For ``T ~ Exponential(λ)`` and a loop of length ``L``, the cycle offset
+``X = T mod L`` has density
+
+    ``f_X(x) = λ e^{-λx} / (1 - e^{-λL})``,  ``x ∈ [0, L]``,
+
+which converges to the uniform density ``1/L`` as ``λL → 0``. This is
+the mathematical basis of the AVF step: in the limit, every cycle of the
+loop is equally likely to host the next raw error, so the time-average
+vulnerability (the AVF) is the exact per-error failure probability.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+def mod_density(x, lam: float, loop_length: float):
+    """Exact density of ``T mod L`` at ``x`` (vectorised)."""
+    if lam <= 0:
+        raise ConfigurationError(f"rate must be positive, got {lam}")
+    if loop_length <= 0:
+        raise ConfigurationError(
+            f"loop length must be positive, got {loop_length}"
+        )
+    x = np.asarray(x, dtype=float)
+    if np.any((x < 0) | (x > loop_length)):
+        raise ConfigurationError("x must lie in [0, L]")
+    denominator = -math.expm1(-lam * loop_length)
+    return lam * np.exp(-lam * x) / denominator
+
+
+def mod_cdf(x, lam: float, loop_length: float):
+    """Exact CDF of ``T mod L`` (vectorised)."""
+    if lam <= 0:
+        raise ConfigurationError(f"rate must be positive, got {lam}")
+    if loop_length <= 0:
+        raise ConfigurationError(
+            f"loop length must be positive, got {loop_length}"
+        )
+    x = np.asarray(x, dtype=float)
+    if np.any((x < 0) | (x > loop_length)):
+        raise ConfigurationError("x must lie in [0, L]")
+    return -np.expm1(-lam * x) / (-math.expm1(-lam * loop_length))
+
+
+def mod_distribution_distance_from_uniform(
+    lam: float, loop_length: float
+) -> float:
+    """Total-variation distance between ``T mod L`` and Uniform[0, L].
+
+    ``TV = (1/2) ∫ |f_X(x) - 1/L| dx``. The density crosses ``1/L`` at a
+    single point ``x* = ln(λL / (1 - e^{-λL})) / λ``, so the integral has
+    a closed form. Tends to 0 as ``λL → 0`` (Theorem 1) and quantifies
+    how non-uniform the strike position is for larger ``λL`` — the root
+    cause of the AVF-step error.
+    """
+    if lam <= 0 or loop_length <= 0:
+        raise ConfigurationError("rate and loop length must be positive")
+    a = lam * loop_length
+    denom = -math.expm1(-a)  # 1 - e^{-aL}
+    # x* where f(x*) = 1/L:  λL e^{-λx} = 1 - e^{-λL}
+    x_star = math.log(a / denom) / lam
+    x_star = min(max(x_star, 0.0), loop_length)
+    # ∫_0^{x*} (f - 1/L) dx = F(x*) - x*/L
+    f_cdf = -math.expm1(-lam * x_star) / denom
+    tv_half = f_cdf - x_star / loop_length
+    return max(tv_half, 0.0)
+
+
+def uniform_limit_error_bound(lam: float, loop_length: float) -> float:
+    """A simple upper bound on the non-uniformity: ``λL/2``.
+
+    ``f_X`` spans ``[λe^{-λL}/(1-e^{-λL}), λ/(1-e^{-λL})]``; its relative
+    deviation from ``1/L`` is at most ``O(λL)``, so ``λL/2`` bounds the
+    total-variation distance for small ``λL``.
+    """
+    if lam <= 0 or loop_length <= 0:
+        raise ConfigurationError("rate and loop length must be positive")
+    return 0.5 * lam * loop_length

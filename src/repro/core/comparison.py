@@ -1,0 +1,125 @@
+"""Method comparison: the paper's discrepancy measurements.
+
+Every results section of the paper reports the *relative error* of an
+estimation method against the Monte-Carlo (or, equivalently, exact
+first-principles) MTTF. :func:`compare_methods` runs the requested
+methods on one system and returns a :class:`MethodComparison` with the
+errors, ready for the experiment tables.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..reliability.metrics import MTTFEstimate, signed_relative_error
+from .avf import avf_mttf
+from .firstprinciples import exact_component_mttf, first_principles_mttf
+from .montecarlo import (
+    MonteCarloConfig,
+    monte_carlo_component_mttf,
+    monte_carlo_mttf,
+)
+from .softarch import softarch_mttf
+from .sofr import avf_sofr_mttf, sofr_mttf_from_components
+from .system import SystemModel
+
+
+@dataclass(frozen=True)
+class MethodComparison:
+    """MTTFs of every method on one system, with errors vs the reference.
+
+    ``reference`` is the ground-truth estimate (Monte Carlo by default,
+    matching the paper; exact first-principles optionally). Error fields
+    are signed relative errors ``(method - reference)/reference`` —
+    Section 5.2 notes the AVF step can err in either direction.
+    """
+
+    system_label: str
+    reference: MTTFEstimate
+    estimates: dict[str, MTTFEstimate] = field(default_factory=dict)
+
+    def error(self, method: str) -> float:
+        """Signed relative error of ``method`` against the reference."""
+        est = self.estimates[method]
+        return signed_relative_error(
+            est.mttf_seconds, self.reference.mttf_seconds
+        )
+
+    def abs_error(self, method: str) -> float:
+        return abs(self.error(method))
+
+    @property
+    def method_names(self) -> list[str]:
+        return list(self.estimates.keys())
+
+
+def compare_methods(
+    system: SystemModel,
+    label: str = "",
+    mc_config: MonteCarloConfig | None = None,
+    reference: str = "monte_carlo",
+    include_softarch: bool = False,
+) -> MethodComparison:
+    """Run AVF+SOFR, SOFR-with-MC-components, and the reference methods.
+
+    Parameters
+    ----------
+    system:
+        The system under evaluation.
+    label:
+        Human-readable system label for tables.
+    mc_config:
+        Monte-Carlo settings (trials/seed/sampler).
+    reference:
+        ``"monte_carlo"`` (the paper's choice) or ``"exact"`` (the closed
+        form — same expectation with zero sampling noise).
+    include_softarch:
+        Also run the SoftArch method (Section 5.4).
+    """
+    mc_config = mc_config or MonteCarloConfig()
+    exact = first_principles_mttf(system)
+    if reference == "exact":
+        ref = exact
+    elif reference == "monte_carlo":
+        ref = monte_carlo_mttf(system, mc_config)
+    else:
+        raise ValueError(f"unknown reference {reference!r}")
+
+    estimates: dict[str, MTTFEstimate] = {}
+    estimates["avf_sofr"] = avf_sofr_mttf(system)
+    # SOFR step alone: component MTTFs from the reference method, so any
+    # error is attributable purely to the SOFR combination (Section 4.2).
+    if reference == "exact":
+        estimates["sofr_only"] = sofr_mttf_from_components(
+            system,
+            lambda c: exact_component_mttf(c.rate_per_second, c.profile),
+        )
+    else:
+        estimates["sofr_only"] = sofr_mttf_from_components(
+            system,
+            lambda c: monte_carlo_component_mttf(
+                c, mc_config
+            ).mttf_seconds,
+        )
+    estimates["first_principles"] = exact
+    if include_softarch:
+        estimates["softarch"] = softarch_mttf(system)
+    return MethodComparison(
+        system_label=label, reference=ref, estimates=estimates
+    )
+
+
+def avf_step_comparison(
+    rate_per_second: float,
+    profile,
+    reference_mttf: float,
+) -> tuple[float, float]:
+    """AVF-step MTTF and its signed error against a reference (seconds).
+
+    A light-weight helper for the single-component sweeps (Figures 3/5).
+    """
+    estimate = avf_mttf(rate_per_second, profile)
+    if math.isinf(estimate) or math.isinf(reference_mttf):
+        raise ValueError("AVF comparison needs finite MTTFs")
+    return estimate, signed_relative_error(estimate, reference_mttf)

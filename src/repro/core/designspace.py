@@ -1,0 +1,226 @@
+"""Design-space sweep engine (Table 2 and the Section 5 experiments).
+
+The paper explores systems parameterised by
+
+* ``N`` — elements per component (1e5 .. 1e9),
+* ``S`` — raw-rate scaling (1 .. 5000),
+* ``C`` — components per system (2 .. 500,000),
+* workload — SPEC masking traces or the synthesized ``day``/``week``/
+  ``combined`` loops,
+
+and reports, for each point, the relative error of the AVF and/or SOFR
+step against Monte Carlo. This module enumerates those points and runs
+the methods, producing tidy row records the benchmark harness renders.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from ..errors import DesignSpaceError
+from ..masking.profile import VulnerabilityProfile
+from ..reliability.metrics import signed_relative_error
+from ..ser.rates import component_rate_per_second
+from .avf import avf_mttf
+from .firstprinciples import exact_component_mttf, first_principles_mttf
+from .montecarlo import (
+    MonteCarloConfig,
+    monte_carlo_component_mttf,
+    monte_carlo_mttf,
+)
+from .softarch import softarch_component_mttf, softarch_mttf
+from .sofr import sofr_mttf_from_values
+from .system import Component, SystemModel
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One configuration of the Table-2 space."""
+
+    workload: str
+    n_elements: float
+    scaling: float
+    components: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_elements <= 0:
+            raise DesignSpaceError(
+                f"N must be positive, got {self.n_elements}"
+            )
+        if self.scaling <= 0:
+            raise DesignSpaceError(f"S must be positive, got {self.scaling}")
+        if self.components < 1:
+            raise DesignSpaceError(
+                f"C must be >= 1, got {self.components}"
+            )
+
+    @property
+    def n_times_s(self) -> float:
+        return self.n_elements * self.scaling
+
+    @property
+    def rate_per_second(self) -> float:
+        return component_rate_per_second(self.n_elements, self.scaling)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Method MTTFs and errors at one design point (times in seconds)."""
+
+    point: DesignPoint
+    monte_carlo_mttf: float
+    monte_carlo_stderr: float
+    avf_mttf: float | None = None
+    avf_sofr_mttf: float | None = None
+    sofr_only_mttf: float | None = None
+    first_principles_mttf: float | None = None
+    softarch_mttf: float | None = None
+
+    def _error(self, value: float | None) -> float | None:
+        if value is None or not math.isfinite(self.monte_carlo_mttf):
+            return None
+        return signed_relative_error(value, self.monte_carlo_mttf)
+
+    @property
+    def avf_error(self) -> float | None:
+        """Signed AVF-step error vs Monte Carlo (Figures 3 and 5)."""
+        return self._error(self.avf_mttf)
+
+    @property
+    def sofr_error(self) -> float | None:
+        """Signed SOFR-step-only error vs Monte Carlo (Figure 6)."""
+        return self._error(self.sofr_only_mttf)
+
+    @property
+    def avf_sofr_error(self) -> float | None:
+        return self._error(self.avf_sofr_mttf)
+
+    @property
+    def softarch_error(self) -> float | None:
+        """SoftArch error vs Monte Carlo (Section 5.4)."""
+        return self._error(self.softarch_mttf)
+
+
+def component_sweep(
+    workloads: Mapping[str, VulnerabilityProfile],
+    n_times_s_values: Iterable[float],
+    mc_config: MonteCarloConfig | None = None,
+    include_softarch: bool = False,
+) -> list[SweepResult]:
+    """AVF-step sweep: single component (C = 1), as in Figure 5 / §5.2.
+
+    Since only the product ``N x S`` matters for a single component
+    (Section 5.2), points are parameterised by it directly.
+    """
+    mc_config = mc_config or MonteCarloConfig()
+    results = []
+    for name, profile in workloads.items():
+        for n_times_s in n_times_s_values:
+            point = DesignPoint(
+                workload=name, n_elements=n_times_s, scaling=1.0
+            )
+            rate = point.rate_per_second
+            component = Component(name, rate, profile)
+            mc = monte_carlo_component_mttf(component, mc_config)
+            results.append(
+                SweepResult(
+                    point=point,
+                    monte_carlo_mttf=mc.mttf_seconds,
+                    monte_carlo_stderr=mc.std_error_seconds,
+                    avf_mttf=avf_mttf(rate, profile),
+                    first_principles_mttf=exact_component_mttf(rate, profile),
+                    softarch_mttf=(
+                        softarch_component_mttf(rate, profile)
+                        if include_softarch
+                        else None
+                    ),
+                )
+            )
+    return results
+
+
+def system_sweep(
+    workloads: Mapping[str, VulnerabilityProfile],
+    n_times_s_values: Iterable[float],
+    component_counts: Iterable[int],
+    mc_config: MonteCarloConfig | None = None,
+    include_softarch: bool = False,
+) -> list[SweepResult]:
+    """SOFR-step sweep over (workload, N x S, C), as in Figure 6.
+
+    Following Section 4.2, the SOFR step is fed *Monte-Carlo* component
+    MTTFs so the reported error isolates the SOFR combination. Every
+    system here is homogeneous (C identical components), matching the
+    paper's cluster experiments.
+    """
+    mc_config = mc_config or MonteCarloConfig()
+    results = []
+    for name, profile in workloads.items():
+        for n_times_s in n_times_s_values:
+            point_rate = component_rate_per_second(n_times_s, 1.0)
+            base = Component(name, point_rate, profile)
+            component_mc = monte_carlo_component_mttf(base, mc_config)
+            for c_count in component_counts:
+                point = DesignPoint(
+                    workload=name,
+                    n_elements=n_times_s,
+                    scaling=1.0,
+                    components=c_count,
+                )
+                system = SystemModel(
+                    [
+                        Component(
+                            name,
+                            point_rate,
+                            profile,
+                            multiplicity=c_count,
+                        )
+                    ]
+                )
+                mc = monte_carlo_mttf(system, mc_config)
+                sofr_only = sofr_mttf_from_values(
+                    [component_mc.mttf_seconds], [c_count]
+                )
+                results.append(
+                    SweepResult(
+                        point=point,
+                        monte_carlo_mttf=mc.mttf_seconds,
+                        monte_carlo_stderr=mc.std_error_seconds,
+                        sofr_only_mttf=sofr_only.mttf_seconds,
+                        avf_sofr_mttf=None,
+                        first_principles_mttf=first_principles_mttf(
+                            system
+                        ).mttf_seconds,
+                        softarch_mttf=(
+                            softarch_mttf(system).mttf_seconds
+                            if include_softarch
+                            else None
+                        ),
+                    )
+                )
+    return results
+
+
+def table2_points(
+    workload_names: Sequence[str],
+    n_values: Sequence[float] = (1e5, 1e6, 1e7, 1e8, 1e9),
+    s_values: Sequence[float] = (1.0, 5.0, 100.0, 2000.0, 5000.0),
+    c_values: Sequence[int] = (2, 8, 5000, 50000, 500000),
+) -> list[DesignPoint]:
+    """Enumerate the full Table-2 cross product."""
+    points = []
+    for workload in workload_names:
+        for n in n_values:
+            for s in s_values:
+                for c in c_values:
+                    points.append(
+                        DesignPoint(
+                            workload=workload,
+                            n_elements=n,
+                            scaling=s,
+                            components=c,
+                        )
+                    )
+    return points

@@ -1,0 +1,349 @@
+"""SoftArch: first-principles probabilistic MTTF (Section 5.4).
+
+SoftArch [Li et al., DSN 2005] couples a probabilistic error model with
+an architecture-level simulation: as the program executes it tracks the
+probability that each architecturally visible value is erroneous —
+errors are *generated* on a value while it resides in a structure
+(probability ``1 - e^{-λτ}`` over residency ``τ``) and *propagate* to
+derived values. When a value can affect program output, the model records
+a potential-failure event with its accumulated error probability; the
+expected time to first failure over the looped workload is the MTTF.
+
+Crucially, SoftArch never assumes uniform vulnerability (the AVF step) or
+exponential per-component failure times (the SOFR step). This module
+implements the model's event-accumulation core:
+
+* :class:`SoftArchTimeline` — a chronologically ordered list of
+  potential-failure events within one workload iteration, folded into an
+  MTTF by forward survival accumulation plus a geometric continuation
+  over subsequent iterations (``MTTF = m1 + L(1-q)/q``);
+* :func:`softarch_mttf` — derives the event list for a whole system from
+  the combined failure intensity, one event per elementary interval in
+  which every component's vulnerability is constant, so events never
+  overlap and the fold is exact;
+* the instruction-level value-graph frontend (error generation on
+  register residency, propagation along data dependences, output events
+  at stores/branches) lives in :mod:`repro.core.softarch_values` and
+  produces the same :class:`SoftArchTimeline`.
+
+The fold is deliberately a *different code path* from the closed-form
+renewal integral in :mod:`repro.core.firstprinciples`: the paper uses
+SoftArch as an independent method and validates it against Monte Carlo
+(<1% component, <2% system error); our tests do the same.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import EstimationError
+from ..masking.profile import VulnerabilityProfile
+from ..reliability.hazard import (
+    CyclicIntensity,
+    NestedHazard,
+    PiecewiseHazard,
+)
+from ..reliability.metrics import MTTFEstimate
+from .system import SystemModel
+
+
+@dataclass(frozen=True)
+class OutputEvent:
+    """A potential-failure event within one workload iteration.
+
+    Attributes
+    ----------
+    time:
+        End of the interval this event covers (when the affected value
+        reaches program output).
+    probability:
+        Probability that the value is erroneous — i.e. that an unmasked
+        strike occurred over the covered interval.
+    mean_time:
+        Expected failure instant conditional on this event failing
+        (strikes spread over the interval, so this lies inside it).
+    """
+
+    time: float
+    probability: float
+    mean_time: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise EstimationError(
+                f"event probability must be in [0,1], got {self.probability}"
+            )
+        if self.time < 0:
+            raise EstimationError(f"event time must be >= 0, got {self.time}")
+        if self.mean_time > self.time * (1 + 1e-9):
+            raise EstimationError(
+                "conditional mean time cannot exceed the event time"
+            )
+
+
+class SoftArchTimeline:
+    """Per-iteration output-event timeline folded into an MTTF.
+
+    Events must cover disjoint, chronologically ordered intervals (the
+    builders below guarantee this). The fold walks the events once:
+    ``P(first failure = event j) = p_j · Π_{i<j}(1 - p_i)``, giving the
+    iteration failure probability ``q`` and the conditional mean failure
+    time ``m1``; independent identical iterations then give
+
+        ``MTTF = m1 + L · (1 - q) / q``.
+    """
+
+    def __init__(self, events: Sequence[OutputEvent], period: float):
+        if period <= 0:
+            raise EstimationError(f"period must be positive, got {period}")
+        self._events = sorted(events, key=lambda e: e.time)
+        for event in self._events:
+            if event.time > period * (1 + 1e-9):
+                raise EstimationError(
+                    f"event at {event.time} outside iteration of {period}"
+                )
+        self._period = float(period)
+
+    @property
+    def period(self) -> float:
+        return self._period
+
+    @property
+    def events(self) -> list[OutputEvent]:
+        return list(self._events)
+
+    @property
+    def event_count(self) -> int:
+        return len(self._events)
+
+    def iteration_failure_probability(self) -> float:
+        """``q``: probability one iteration fails, by forward survival."""
+        log_survival = 0.0
+        for event in self._events:
+            if event.probability >= 1.0:
+                return 1.0
+            log_survival += math.log1p(-event.probability)
+        return -math.expm1(log_survival)
+
+    def mttf(self) -> float:
+        """Expected time to first failure over looped iterations."""
+        survival = 1.0
+        weighted_time = 0.0
+        q = 0.0
+        for event in self._events:
+            p_here = survival * event.probability
+            weighted_time += p_here * event.mean_time
+            q += p_here
+            survival *= 1.0 - event.probability
+        if q <= 0.0:
+            return math.inf
+        m1 = weighted_time / q
+        return m1 + self._period * (1.0 - q) / q
+
+
+# ---------------------------------------------------------------------------
+# Event construction from failure intensities.
+# ---------------------------------------------------------------------------
+
+
+def _truncated_exp_mean_fraction(x: float) -> float:
+    """Mean of a truncated Exp(1) on [0, 1] with total hazard ``x``.
+
+    ``g(x) = 1/x - 1/(e^x - 1)``, evaluated stably: a Taylor series for
+    small ``x`` (the direct form suffers catastrophic cancellation) and
+    the ``expm1`` form otherwise. ``g`` decreases from 1/2 (uniform
+    limit) towards 0 (failures concentrate at the interval start), so
+    the conditional mean always lies inside the interval.
+    """
+    if x < 1e-5:
+        return 0.5 - x / 12.0 + x**3 / 720.0
+    if x > 700.0:  # e^x overflows; 1/(e^x - 1) is exactly 0 in double
+        return 1.0 / x
+    return 1.0 / x - 1.0 / math.expm1(x)
+
+
+def _segment_event(
+    start: float, end: float, rate: float
+) -> OutputEvent | None:
+    """Event for one constant-intensity interval, or ``None`` if inert.
+
+    Generation probability is ``1 - e^{-r·d}``; conditional on a strike,
+    its instant is truncated-exponential over the interval, with mean
+    ``start + d·g(r·d)`` (see :func:`_truncated_exp_mean_fraction`).
+    """
+    d = end - start
+    if d <= 0 or rate <= 0:
+        return None
+    x = rate * d
+    prob = -math.expm1(-x)
+    if prob <= 0.0:
+        return None
+    mean_local = d * _truncated_exp_mean_fraction(x)
+    return OutputEvent(time=end, probability=prob, mean_time=start + mean_local)
+
+
+def _events_from_piecewise(
+    hazard: PiecewiseHazard, offset: float = 0.0, until: float | None = None
+) -> list[OutputEvent]:
+    """One event per positive-intensity segment of a piecewise hazard."""
+    events: list[OutputEvent] = []
+    bp = hazard.breakpoints
+    rates = hazard.rates
+    for j in range(rates.size):
+        t0 = float(bp[j])
+        t1 = float(bp[j + 1])
+        if until is not None:
+            if t0 >= until:
+                break
+            t1 = min(t1, until)
+        event = _segment_event(offset + t0, offset + t1, float(rates[j]))
+        if event is not None:
+            events.append(event)
+    return events
+
+
+#: Below this repetition count, inner cycles are enumerated exactly;
+#: above it, each block is folded into one aggregate event (also exact —
+#: blocks are sequential and identically distributed).
+_ENUMERATION_LIMIT = 1024
+
+
+def _aggregate_blocks(
+    block_events: list[OutputEvent],
+    block_period: float,
+    repetitions: int,
+    offset: float,
+) -> OutputEvent | None:
+    """Collapse ``repetitions`` identical sequential event blocks.
+
+    Within one block: failure probability ``q_b`` and conditional mean
+    ``m_b`` come from the standard fold. Across blocks the first failing
+    block index is geometric, so the aggregate has
+
+    * probability ``1 - (1 - q_b)^R``,
+    * conditional mean ``offset + E[k | fail]·P_block + m_b`` with
+      ``E[k | fail] = q_b·Σ_{k<R} k(1-q_b)^k / (1 - (1-q_b)^R)``.
+
+    Exact because blocks are disjoint in time and i.i.d.
+    """
+    survival = 1.0
+    weighted = 0.0
+    q_b = 0.0
+    for e in block_events:
+        p_here = survival * e.probability
+        weighted += p_here * e.mean_time
+        q_b += p_here
+        survival *= 1.0 - e.probability
+    if q_b <= 0.0:
+        return None
+    m_b = weighted / q_b
+    r = repetitions
+    if q_b >= 1.0:
+        total_q = 1.0
+        mean_k = 0.0
+    else:
+        x = 1.0 - q_b
+        total_q = -math.expm1(r * math.log1p(-q_b))
+        x_pow_r = math.exp(r * math.log(x)) if x > 0 else 0.0
+        # Σ_{k=0}^{r-1} k x^k = x(1 - r x^{r-1} + (r-1) x^r)/(1-x)^2
+        x_pow_r_minus_1 = x_pow_r / x if x > 0 else 0.0
+        sum_k = x * (1.0 - r * x_pow_r_minus_1 + (r - 1) * x_pow_r) / (
+            q_b * q_b
+        )
+        mean_k = q_b * sum_k / total_q
+    return OutputEvent(
+        time=offset + r * block_period,
+        probability=total_q,
+        mean_time=offset + mean_k * block_period + m_b,
+    )
+
+
+def _events_from_nested(hazard: NestedHazard) -> list[OutputEvent]:
+    """Events for a nested hazard, aggregating massive inner repetitions."""
+    events: list[OutputEvent] = []
+    offset = 0.0
+    for duration, inner in hazard.segments:
+        ratio = duration / inner.period
+        full = int(math.floor(ratio + 1e-9))
+        tail = duration - full * inner.period
+        if tail < 0:
+            tail = 0.0
+        block = _events_from_piecewise(inner)
+        if full > 0 and block:
+            if full <= _ENUMERATION_LIMIT:
+                for k in range(full):
+                    shift = offset + k * inner.period
+                    events.extend(
+                        OutputEvent(
+                            time=shift + e.time,
+                            probability=e.probability,
+                            mean_time=shift + e.mean_time,
+                        )
+                        for e in block
+                    )
+            else:
+                aggregate = _aggregate_blocks(
+                    block, inner.period, full, offset
+                )
+                if aggregate is not None:
+                    events.append(aggregate)
+        if tail > 1e-12 * inner.period:
+            shift = offset + full * inner.period
+            events.extend(
+                OutputEvent(
+                    time=shift + e.time,
+                    probability=e.probability,
+                    mean_time=shift + e.mean_time,
+                )
+                for e in _events_from_piecewise(inner, until=tail)
+            )
+        offset += duration
+    return events
+
+
+def timeline_from_intensity(intensity: CyclicIntensity) -> SoftArchTimeline:
+    """Build the per-iteration event timeline for a failure intensity."""
+    if isinstance(intensity, PiecewiseHazard):
+        return SoftArchTimeline(
+            _events_from_piecewise(intensity), intensity.period
+        )
+    if isinstance(intensity, NestedHazard):
+        return SoftArchTimeline(
+            _events_from_nested(intensity), intensity.period
+        )
+    raise EstimationError(
+        f"SoftArch needs a piecewise or nested intensity, got "
+        f"{type(intensity).__name__}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Public entry points.
+# ---------------------------------------------------------------------------
+
+
+def softarch_component_mttf(
+    rate_per_second: float, profile: VulnerabilityProfile
+) -> float:
+    """SoftArch MTTF (seconds) for one component."""
+    if rate_per_second < 0:
+        raise EstimationError("raw rate must be non-negative")
+    if rate_per_second == 0:
+        return math.inf
+    return timeline_from_intensity(profile.to_hazard(rate_per_second)).mttf()
+
+
+def softarch_mttf(system: SystemModel) -> MTTFEstimate:
+    """SoftArch MTTF of a series system.
+
+    The system's combined failure intensity (components' intensities
+    superposed, multiplicities included) is cut into elementary
+    constant-intensity intervals; each becomes one output event. Because
+    the intervals are disjoint, the forward fold is exact — this mirrors
+    SoftArch's operation of accounting for *all* structures at each
+    simulation step.
+    """
+    timeline = timeline_from_intensity(system.combined_intensity())
+    return MTTFEstimate(mttf_seconds=timeline.mttf(), method="softarch")

@@ -1,0 +1,248 @@
+"""Ablation experiments (ours, not the paper's).
+
+These probe the reproduction's own design choices:
+
+* sampler equivalence — the paper-literal arrival/resampling Monte
+  Carlo versus the fast inverse-hazard sampler;
+* trial-count convergence — 1/sqrt(n) scaling justifying the default
+  trial counts;
+* exponentiality diagnostics — *why* SOFR breaks: the masked TTF's
+  coefficient of variation and KS distance from exponential grow with
+  the hazard mass per iteration;
+* dilation sensitivity — AVF/SOFR errors depend on the workload only
+  through the dimensionless hazard mass ``λ·V(L)``, which justifies the
+  time-dilation bridging of simulated window lengths.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+import numpy as np
+
+from ..core.avf import avf_mttf
+from ..core.firstprinciples import exact_component_mttf
+from ..core.montecarlo import MonteCarloConfig, sample_component_ttf
+from ..core.system import Component
+from ..reliability.diagnostics import exponentiality_report
+from ..reliability.metrics import signed_relative_error
+from ..reliability.process import FailureProcess
+from ..units import SECONDS_PER_DAY
+from ..workloads.longrun import day_workload
+from .experiment import ExperimentResult
+from .tables import Table, percent
+
+_DEFAULT_TRIALS = int(os.environ.get("REPRO_MC_TRIALS", "100000"))
+
+
+def _day_component(rate: float) -> Component:
+    return Component("proc", rate, day_workload())
+
+
+def run_sampler_equivalence(trials: int | None = None, **_):
+    trials = trials or _DEFAULT_TRIALS
+    table = Table(
+        "Ablation: arrival vs inverse sampler",
+        ["lambda*L", "inverse mean (d)", "arrival mean (d)",
+         "difference (sigma)", "max |decile gap|"],
+    )
+    worst_sigma = 0.0
+    for lam_l in (0.01, 0.1, 1.0, 5.0):
+        rate = lam_l / SECONDS_PER_DAY
+        comp = _day_component(rate)
+        inv = sample_component_ttf(
+            comp, MonteCarloConfig(trials=trials, seed=1)
+        )
+        arr = sample_component_ttf(
+            comp,
+            MonteCarloConfig(trials=trials, seed=2, method="arrival"),
+        )
+        pooled_se = math.sqrt(
+            inv.var(ddof=1) / inv.size + arr.var(ddof=1) / arr.size
+        )
+        sigma = abs(inv.mean() - arr.mean()) / pooled_se
+        worst_sigma = max(worst_sigma, sigma)
+        deciles = np.linspace(0.1, 0.9, 9)
+        gap = np.max(
+            np.abs(
+                np.quantile(inv, deciles) - np.quantile(arr, deciles)
+            )
+            / np.quantile(inv, deciles)
+        )
+        table.add_row(
+            f"{lam_l:g}",
+            inv.mean() / 86400.0,
+            arr.mean() / 86400.0,
+            f"{sigma:.2f}",
+            percent(float(gap)),
+        )
+    return ExperimentResult(
+        artifact="ablation.samplers",
+        title="Arrival and inverse samplers agree",
+        paper_claim="(ours) the fast inverse-hazard sampler is "
+        "distribution-identical to the paper's resampling procedure.",
+        tables=[table],
+        headline=f"mean differences within {worst_sigma:.1f} standard "
+        "errors across four hazard regimes",
+    )
+
+
+def run_mc_convergence(trials: int | None = None, **_):
+    base_trials = trials or _DEFAULT_TRIALS
+    rate = 0.5 / SECONDS_PER_DAY
+    comp = _day_component(rate)
+    exact = exact_component_mttf(rate, comp.profile)
+    table = Table(
+        "Ablation: Monte-Carlo convergence",
+        ["trials", "MC MTTF (d)", "rel. deviation", "stderr/mean"],
+    )
+    rows = []
+    for factor in (0.01, 0.1, 1.0):
+        n = max(int(base_trials * factor), 100)
+        samples = sample_component_ttf(
+            comp, MonteCarloConfig(trials=n, seed=3)
+        )
+        deviation = signed_relative_error(float(samples.mean()), exact)
+        rel_se = float(
+            samples.std(ddof=1) / math.sqrt(n) / samples.mean()
+        )
+        rows.append((n, rel_se))
+        table.add_row(
+            n, samples.mean() / 86400.0, percent(deviation),
+            percent(rel_se),
+        )
+    # 1/sqrt(n): se ratio between smallest and largest trial counts.
+    expected_ratio = math.sqrt(rows[-1][0] / rows[0][0])
+    actual_ratio = rows[0][1] / rows[-1][1]
+    return ExperimentResult(
+        artifact="ablation.convergence",
+        title="Monte-Carlo error scales as 1/sqrt(trials)",
+        paper_claim="(ours) justifies default trial counts.",
+        tables=[table],
+        headline=f"stderr ratio {actual_ratio:.1f} vs sqrt-law "
+        f"{expected_ratio:.1f} across a {rows[-1][0] // rows[0][0]}x "
+        "trial range",
+    )
+
+
+def run_exponentiality(trials: int | None = None, **_):
+    trials = trials or _DEFAULT_TRIALS
+    table = Table(
+        "Ablation: masked TTF vs exponential (day workload)",
+        ["lambda*L", "exact CoV", "sample CoV", "KS distance",
+         "looks exponential"],
+    )
+    for lam_l in (1e-3, 0.1, 1.0, 10.0):
+        rate = lam_l / SECONDS_PER_DAY
+        comp = _day_component(rate)
+        process = FailureProcess(comp.intensity)
+        samples = sample_component_ttf(
+            comp, MonteCarloConfig(trials=trials, seed=4)
+        )
+        report = exponentiality_report(samples)
+        table.add_row(
+            f"{lam_l:g}",
+            f"{process.coefficient_of_variation():.4f}",
+            f"{report.coefficient_of_variation:.4f}",
+            f"{report.ks_distance:.4f}",
+            report.looks_exponential,
+        )
+    return ExperimentResult(
+        artifact="ablation.exponentiality",
+        title="Masking drives the TTF away from exponential",
+        paper_claim="(ours) quantifies the SOFR-assumption violation "
+        "the paper identifies analytically (Section 3.2).",
+        tables=[table],
+        headline="CoV and KS distance grow with hazard mass per "
+        "iteration; the exponentiality screen fails exactly where "
+        "Figure 6 shows SOFR failing",
+    )
+
+
+def run_hybrid_method(**_):
+    from ..core.hybrid import hybrid_system_mttf
+    from ..core.sofr import avf_sofr_mttf
+    from ..core.system import SystemModel
+
+    table = Table(
+        "Ablation: hybrid methodology vs AVF+SOFR vs exact",
+        ["C", "mass/component", "regime", "method chosen",
+         "AVF+SOFR error", "hybrid error"],
+    )
+    worst_hybrid = 0.0
+    worst_plain = 0.0
+    for count, mass in (
+        (2, 1e-6), (100, 1e-4), (100, 3e-2), (5000, 3e-3), (50000, 0.1)
+    ):
+        profile = day_workload()
+        rate = mass / profile.vulnerable_time
+        from repro.core.system import Component as _Component
+
+        system = SystemModel(
+            [_Component("node", rate, profile, multiplicity=count)]
+        )
+        from ..core.firstprinciples import first_principles_mttf
+
+        exact = first_principles_mttf(system).mttf_seconds
+        plain = avf_sofr_mttf(system).mttf_seconds
+        hybrid = hybrid_system_mttf(system)
+        plain_err = signed_relative_error(plain, exact)
+        hybrid_err = signed_relative_error(
+            hybrid.estimate.mttf_seconds, exact
+        )
+        worst_hybrid = max(worst_hybrid, abs(hybrid_err))
+        worst_plain = max(worst_plain, abs(plain_err))
+        table.add_row(
+            count,
+            f"{mass:g}",
+            hybrid.regime.value,
+            hybrid.estimate.method,
+            percent(plain_err),
+            percent(hybrid_err),
+        )
+    return ExperimentResult(
+        artifact="ablation.hybrid",
+        title="A validity-aware hybrid beats blind AVF+SOFR",
+        paper_claim="(ours, operationalising the paper's conclusion) a "
+        "method selector keyed on the hazard mass stays accurate "
+        "everywhere.",
+        tables=[table],
+        headline=f"hybrid worst error {worst_hybrid:.3%} vs AVF+SOFR "
+        f"worst {worst_plain:.0%} across the severity sweep",
+    )
+
+
+def run_dilation_sensitivity(**_):
+    from .spec_setup import processor_profile
+
+    table = Table(
+        "Ablation: window dilation vs hazard mass",
+        ["dilation", "period (s)", "AVF", "lambda*V(L)",
+         "AVF-step error"],
+    )
+    base = processor_profile("gzip")
+    for dilation in (1.0, 10.0, 100.0, 2500.0):
+        profile = base.dilated(dilation)
+        # Choose the rate so the *undilated* mass would be 1e-4.
+        rate = 1e-4 / base.vulnerable_time
+        exact = exact_component_mttf(rate, profile)
+        approx = avf_mttf(rate, profile)
+        error = signed_relative_error(approx, exact)
+        table.add_row(
+            f"{dilation:g}x",
+            profile.period,
+            f"{profile.avf:.4f}",
+            f"{rate * profile.vulnerable_time:.2e}",
+            percent(error),
+        )
+    return ExperimentResult(
+        artifact="ablation.dilation",
+        title="AVF error tracks the dimensionless hazard mass",
+        paper_claim="(ours) validates bridging simulated-window lengths "
+        "by time dilation: the AVF is dilation-invariant and the error "
+        "is governed by lambda*V(L).",
+        tables=[table],
+        headline="AVF constant under dilation; error grows exactly with "
+        "the dilated hazard mass",
+    )

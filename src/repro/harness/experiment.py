@@ -1,0 +1,76 @@
+"""Experiment framework: one object per paper artifact."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import ConfigurationError
+from .tables import Table
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment run produced."""
+
+    artifact: str
+    title: str
+    paper_claim: str
+    tables: list[Table] = field(default_factory=list)
+    figures: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    headline: str = ""
+
+    def render(self) -> str:
+        """Human-readable console rendering."""
+        parts = [
+            f"[{self.artifact}] {self.title}",
+            f"paper claim: {self.paper_claim}",
+        ]
+        if self.headline:
+            parts.append(f"measured:    {self.headline}")
+        for table in self.tables:
+            parts.append("")
+            parts.append(table.render())
+        for figure in self.figures:
+            parts.append("")
+            parts.append(figure)
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+    def render_markdown(self) -> str:
+        """EXPERIMENTS.md section for this artifact."""
+        parts = [
+            f"### {self.artifact}: {self.title}",
+            "",
+            f"*Paper:* {self.paper_claim}",
+            "",
+            f"*Measured:* {self.headline}" if self.headline else "",
+        ]
+        for table in self.tables:
+            parts.append("")
+            parts.append(table.render_markdown())
+        for note in self.notes:
+            parts.append("")
+            parts.append(f"> {note}")
+        return "\n".join(p for p in parts if p is not None)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A runnable reproduction of one paper artifact."""
+
+    artifact: str
+    title: str
+    paper_claim: str
+    runner: Callable[..., ExperimentResult]
+
+    def run(self, **kwargs) -> ExperimentResult:
+        result = self.runner(**kwargs)
+        if result.artifact != self.artifact:
+            raise ConfigurationError(
+                f"runner produced artifact {result.artifact!r} for "
+                f"experiment {self.artifact!r}"
+            )
+        return result

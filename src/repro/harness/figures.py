@@ -1,0 +1,63 @@
+"""ASCII rendering of figure-style series.
+
+The paper's figures are bar/line charts of relative error against a
+swept parameter. :func:`render_series` draws a horizontal-bar chart per
+series so the *shape* (growth, crossings, sign) is visible in a
+terminal or a bench log.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..errors import ConfigurationError
+
+
+def render_series(
+    title: str,
+    x_labels: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    width: int = 48,
+    unit: str = "%",
+    scale: float = 100.0,
+) -> str:
+    """Render one or more series as labelled horizontal bars.
+
+    Parameters
+    ----------
+    title:
+        Chart heading.
+    x_labels:
+        Label per x position (shared across series).
+    series:
+        Mapping series-name -> values (same length as ``x_labels``).
+    width:
+        Bar width in characters at the maximum magnitude.
+    unit / scale:
+        Values are displayed as ``value * scale`` with this unit suffix
+        (defaults render ratios as percentages).
+    """
+    if not series:
+        raise ConfigurationError("need at least one series")
+    for name, values in series.items():
+        if len(values) != len(x_labels):
+            raise ConfigurationError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(x_labels)} labels"
+            )
+    peak = max(
+        (abs(v) for values in series.values() for v in values), default=0.0
+    )
+    if peak <= 0:
+        peak = 1.0
+    label_width = max((len(x) for x in x_labels), default=1)
+    lines = [title, "=" * len(title)]
+    for name, values in series.items():
+        lines.append(f"-- {name} --")
+        for x, v in zip(x_labels, values):
+            bar_len = int(round(abs(v) / peak * width))
+            bar = ("#" if v >= 0 else "-") * bar_len
+            lines.append(
+                f"{x.rjust(label_width)} | {bar} {v * scale:.2f}{unit}"
+            )
+    return "\n".join(lines)

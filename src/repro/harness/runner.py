@@ -1,0 +1,85 @@
+"""Command-line experiment runner (``repro-experiments``).
+
+Usage::
+
+    repro-experiments --list
+    repro-experiments fig3 fig4
+    repro-experiments --all --markdown experiments.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .registry import all_experiments, get_experiment
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "artifacts",
+        nargs="*",
+        help="artifact ids to run (e.g. fig3 sec5.1); see --list",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments"
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="run every experiment"
+    )
+    parser.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        help="Monte-Carlo trials per estimate (default: REPRO_MC_TRIALS "
+        "or 100000; the paper used 1000000)",
+    )
+    parser.add_argument(
+        "--markdown",
+        metavar="PATH",
+        default=None,
+        help="also write results as a markdown report",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    experiments = all_experiments()
+
+    if args.list or (not args.artifacts and not args.all):
+        print("available experiments:")
+        for artifact, experiment in sorted(experiments.items()):
+            print(f"  {artifact:24s} {experiment.title}")
+        return 0
+
+    selected = (
+        sorted(experiments) if args.all else args.artifacts
+    )
+    sections = []
+    for artifact in selected:
+        experiment = get_experiment(artifact)
+        started = time.perf_counter()
+        result = experiment.run(trials=args.trials)
+        elapsed = time.perf_counter() - started
+        print(result.render())
+        print(f"[{artifact}] completed in {elapsed:.1f}s")
+        print()
+        sections.append(result.render_markdown())
+
+    if args.markdown:
+        with open(args.markdown, "w", encoding="utf-8") as handle:
+            handle.write("# Experiment results\n\n")
+            handle.write("\n\n".join(sections))
+            handle.write("\n")
+        print(f"markdown report written to {args.markdown}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI entry
+    sys.exit(main())

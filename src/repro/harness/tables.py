@@ -1,0 +1,96 @@
+"""Plain-text result tables.
+
+Experiments produce :class:`Table` objects; the harness renders them as
+aligned ASCII (for the console and bench logs) and as GitHub-flavoured
+markdown (for EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import ConfigurationError
+
+
+class Table:
+    """A small, immutable-ish result table."""
+
+    def __init__(self, title: str, headers: Sequence[str]):
+        if not headers:
+            raise ConfigurationError("a table needs at least one column")
+        self.title = title
+        self.headers = list(headers)
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.headers):
+            raise ConfigurationError(
+                f"row has {len(cells)} cells, expected {len(self.headers)}"
+            )
+        self.rows.append([_format_cell(c) for c in cells])
+
+    # -- rendering -------------------------------------------------------
+
+    def render(self) -> str:
+        """Aligned plain-text rendering."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [self.title, "=" * len(self.title)] if self.title else []
+        lines.append(
+            " | ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        )
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(
+                " | ".join(c.ljust(w) for c, w in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        """GitHub-flavoured markdown rendering."""
+        lines = []
+        if self.title:
+            lines.append(f"**{self.title}**")
+            lines.append("")
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+    def column(self, header: str) -> list[str]:
+        """All cells of one column (for tests and assertions)."""
+        if header not in self.headers:
+            raise ConfigurationError(
+                f"no column {header!r}; have {self.headers}"
+            )
+        idx = self.headers.index(header)
+        return [row[idx] for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def percent(value: float) -> str:
+    """Format a ratio as a signed percentage cell."""
+    return f"{value:+.2%}"

@@ -1,0 +1,92 @@
+"""Profile composition.
+
+Two distinct composition semantics appear in the paper's experiments:
+
+* **Hazard addition** — independent raw-error processes per component;
+  the processor fails when any unit fails. That composition lives in
+  :class:`repro.reliability.series.SeriesSystem` (intensities add) and is
+  what Section 4.2 uses ("apply these three traces ... simultaneously").
+* **Pointwise OR** — a *single* strike process hitting a component whose
+  sub-structures mask independently: the strike is unmasked if it is
+  unmasked by any sub-structure it can affect. :func:`or_combine`
+  implements this for same-period piecewise profiles.
+
+:func:`concatenate_profiles` builds phase-structured workloads (the
+``combined`` benchmark's outer loop) by sequencing profiles in time.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ProfileError
+from ..reliability.hazard import _REL_TOL  # shared tolerance
+from .profile import NestedProfile, PiecewiseProfile
+
+
+def or_combine(profiles: Sequence[PiecewiseProfile]) -> PiecewiseProfile:
+    """Pointwise ``1 - prod(1 - v_i)`` over same-period profiles.
+
+    For binary profiles this is a logical OR of busy masks. The result is
+    always >= each input and <= 1 (tested as a property invariant).
+    """
+    if not profiles:
+        raise ProfileError("need at least one profile")
+    period = profiles[0].period
+    for p in profiles[1:]:
+        if abs(p.period - period) > _REL_TOL * period:
+            raise ProfileError(
+                f"period mismatch: {p.period} vs {period}; tile first"
+            )
+    bp = np.unique(np.concatenate([p.breakpoints for p in profiles]))
+    bp[-1] = period
+    mids = 0.5 * (bp[:-1] + bp[1:])
+    survive = np.ones_like(mids)
+    for p in profiles:
+        vals = p.value_at(np.clip(mids, 0, p.period * (1 - 1e-15)))
+        survive *= 1.0 - vals
+    return PiecewiseProfile(bp, 1.0 - survive)
+
+
+def concatenate_profiles(
+    segments: Sequence[tuple[float, "PiecewiseProfile | float"]],
+) -> NestedProfile:
+    """Sequence profiles in time into one long outer cycle.
+
+    Each ``(duration, profile)`` pair runs the profile cyclically for
+    ``duration`` seconds, then the next segment starts. This is exactly
+    the structure of the ``combined`` workload (Section 4.2).
+    """
+    return NestedProfile(segments)
+
+
+def weighted_average_profile(
+    profiles: Sequence[PiecewiseProfile], weights: Sequence[float]
+) -> PiecewiseProfile:
+    """Pointwise convex combination of same-period profiles.
+
+    Used to model a component whose strikes are distributed across
+    sub-structures with given probabilities (e.g. a register file whose
+    strike lands on the integer bank with probability 80/256).
+    """
+    if not profiles:
+        raise ProfileError("need at least one profile")
+    if len(weights) != len(profiles):
+        raise ProfileError("weights must match profiles in length")
+    w = np.asarray(weights, dtype=float)
+    if np.any(w < 0) or w.sum() <= 0:
+        raise ProfileError("weights must be non-negative and not all zero")
+    w = w / w.sum()
+    period = profiles[0].period
+    for p in profiles[1:]:
+        if abs(p.period - period) > _REL_TOL * period:
+            raise ProfileError("period mismatch; tile first")
+    bp = np.unique(np.concatenate([p.breakpoints for p in profiles]))
+    bp[-1] = period
+    mids = 0.5 * (bp[:-1] + bp[1:])
+    vals = np.zeros_like(mids)
+    for p, wi in zip(profiles, w):
+        vals += wi * p.value_at(np.clip(mids, 0, p.period * (1 - 1e-15)))
+    return PiecewiseProfile(bp, np.clip(vals, 0.0, 1.0))

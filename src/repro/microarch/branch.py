@@ -1,0 +1,56 @@
+"""Branch prediction: a classic bimodal (2-bit counter) predictor.
+
+Turandot models a more elaborate front end; for masking-trace purposes
+what matters is a realistic mispredict rate per workload (it sets the
+frequency of pipeline flushes, hence idle phases of the units). A
+bimodal table gives per-benchmark mispredict rates in the few-percent
+range, which is the regime the paper's SPEC runs are in.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+
+
+class BimodalPredictor:
+    """2-bit saturating counters indexed by PC."""
+
+    #: Counter states: 0,1 predict not-taken; 2,3 predict taken.
+    _TAKEN_THRESHOLD = 2
+
+    def __init__(self, entries: int = 4096, initial: int = 1):
+        if entries < 1 or entries & (entries - 1):
+            raise ConfigurationError(
+                f"predictor entries must be a positive power of two, "
+                f"got {entries}"
+            )
+        if not 0 <= initial <= 3:
+            raise ConfigurationError("initial counter must be in 0..3")
+        self._mask = entries - 1
+        self._counters = bytearray([initial] * entries)
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Predict branch at ``pc``, update with the actual outcome.
+
+        Returns True if the prediction was correct.
+        """
+        index = (pc >> 2) & self._mask
+        counter = self._counters[index]
+        predicted_taken = counter >= self._TAKEN_THRESHOLD
+        correct = predicted_taken == taken
+        self.predictions += 1
+        if not correct:
+            self.mispredictions += 1
+        if taken and counter < 3:
+            self._counters[index] = counter + 1
+        elif not taken and counter > 0:
+            self._counters[index] = counter - 1
+        return correct
+
+    @property
+    def mispredict_rate(self) -> float:
+        if not self.predictions:
+            return 0.0
+        return self.mispredictions / self.predictions

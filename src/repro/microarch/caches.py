@@ -1,0 +1,170 @@
+"""Set-associative caches and TLBs (LRU replacement).
+
+These are functional hit/miss models feeding the timing model: they
+return the access latency and keep hit/miss statistics. Lines are
+tracked by tag; no data is stored (trace-driven simulation needs timing
+only).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..errors import ConfigurationError
+from .config import CacheSpec, TlbSpec
+
+
+class Cache:
+    """One cache level with LRU replacement within each set."""
+
+    def __init__(self, spec: CacheSpec):
+        self.spec = spec
+        self._line_shift = (spec.line_bytes - 1).bit_length()
+        if 1 << self._line_shift != spec.line_bytes:
+            raise ConfigurationError(
+                f"{spec.name}: line size must be a power of two"
+            )
+        self._n_sets = spec.n_sets
+        # One ordered dict per set: tag -> None, oldest first.
+        self._sets: list[OrderedDict] = [
+            OrderedDict() for _ in range(self._n_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, address: int) -> bool:
+        """Access ``address``; returns True on hit. Fills on miss (LRU)."""
+        line = address >> self._line_shift
+        index = line % self._n_sets
+        tag = line // self._n_sets
+        entries = self._sets[index]
+        if tag in entries:
+            entries.move_to_end(tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        entries[tag] = None
+        if len(entries) > self.spec.associativity:
+            entries.popitem(last=False)
+        return False
+
+    def fill(self, address: int) -> None:
+        """Install a line without counting an access (prefetch fill)."""
+        line = address >> self._line_shift
+        index = line % self._n_sets
+        tag = line // self._n_sets
+        entries = self._sets[index]
+        if tag in entries:
+            entries.move_to_end(tag)
+            return
+        entries[tag] = None
+        if len(entries) > self.spec.associativity:
+            entries.popitem(last=False)
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+class Tlb:
+    """A fully-associative TLB with LRU replacement."""
+
+    def __init__(self, spec: TlbSpec):
+        self.spec = spec
+        self._page_shift = (spec.page_bytes - 1).bit_length()
+        if 1 << self._page_shift != spec.page_bytes:
+            raise ConfigurationError(
+                f"{spec.name}: page size must be a power of two"
+            )
+        self._entries: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, address: int) -> bool:
+        """Translate ``address``; returns True on hit. Fills on miss."""
+        page = address >> self._page_shift
+        if page in self._entries:
+            self._entries.move_to_end(page)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._entries[page] = None
+        if len(self._entries) > self.spec.entries:
+            self._entries.popitem(last=False)
+        return False
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class MemoryHierarchy:
+    """L1 (I or D) + shared L2 + memory, returning access latencies.
+
+    A tagged next-line prefetcher (POWER4-style sequential stream
+    prefetch) is enabled by default: a demand miss prefetches the
+    following line, and a hit on a prefetched line keeps the stream
+    running ahead. Sequential walks therefore miss only at stream
+    startup, as on the real machine.
+    """
+
+    _PREFETCH_TAG_LIMIT = 4096
+
+    def __init__(
+        self,
+        l1: Cache,
+        l2: Cache,
+        tlb: Tlb,
+        memory_latency: int,
+        prefetch: bool = True,
+    ):
+        self.l1 = l1
+        self.l2 = l2
+        self.tlb = tlb
+        self.memory_latency = memory_latency
+        self.prefetch = prefetch
+        self._prefetched: set[int] = set()
+        self.prefetch_fills = 0
+
+    def _prefetch_line(self, line: int) -> None:
+        address = line << self.l1._line_shift  # noqa: SLF001 - same module
+        self.l1.fill(address)
+        self.l2.fill(address)
+        if len(self._prefetched) >= self._PREFETCH_TAG_LIMIT:
+            self._prefetched.clear()
+        self._prefetched.add(line)
+        self.prefetch_fills += 1
+
+    def access(self, address: int) -> int:
+        """Total latency of an access at ``address`` (cycles)."""
+        latency = 0
+        if not self.tlb.lookup(address):
+            latency += self.tlb.spec.miss_penalty
+        line = address >> self.l1._line_shift  # noqa: SLF001 - same module
+        if self.l1.lookup(address):
+            if self.prefetch and line in self._prefetched:
+                self._prefetched.discard(line)
+                self._prefetch_line(line + 1)
+            return latency + self.l1.spec.latency
+        if self.prefetch:
+            self._prefetch_line(line + 1)
+        if self.l2.lookup(address):
+            return latency + self.l1.spec.latency + self.l2.spec.latency
+        return (
+            latency
+            + self.l1.spec.latency
+            + self.l2.spec.latency
+            + self.memory_latency
+        )

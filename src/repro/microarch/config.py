@@ -1,0 +1,237 @@
+"""Machine configuration (Table 1 of the paper).
+
+:func:`MachineConfig.power4_like` reproduces the paper's base
+configuration exactly; every field can be overridden for sensitivity
+studies (the ablation benchmarks vary several).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import ConfigurationError
+from .isa import OpClass
+
+
+@dataclass(frozen=True)
+class FunctionalUnitSpec:
+    """One functional-unit pool (e.g. the two integer units)."""
+
+    name: str
+    count: int
+    pipelined: bool = True
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ConfigurationError(
+                f"{self.name}: need at least one unit, got {self.count}"
+            )
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """Geometry and latency of one cache level."""
+
+    name: str
+    size_bytes: int
+    associativity: int
+    line_bytes: int
+    latency: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.line_bytes <= 0:
+            raise ConfigurationError(f"{self.name}: sizes must be positive")
+        if self.associativity < 1:
+            raise ConfigurationError(
+                f"{self.name}: associativity must be >= 1"
+            )
+        if self.size_bytes % (self.line_bytes * self.associativity) != 0:
+            raise ConfigurationError(
+                f"{self.name}: size must be a multiple of "
+                "line_bytes * associativity"
+            )
+        if self.latency < 0:
+            raise ConfigurationError(f"{self.name}: latency must be >= 0")
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+
+@dataclass(frozen=True)
+class TlbSpec:
+    """A fully-associative TLB."""
+
+    name: str
+    entries: int
+    page_bytes: int = 4096
+    miss_penalty: int = 30
+
+    def __post_init__(self) -> None:
+        if self.entries < 1:
+            raise ConfigurationError(f"{self.name}: need >= 1 entry")
+        if self.page_bytes <= 0:
+            raise ConfigurationError(f"{self.name}: bad page size")
+        if self.miss_penalty < 0:
+            raise ConfigurationError(f"{self.name}: bad miss penalty")
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """The full machine description (defaults = the paper's Table 1)."""
+
+    clock_hz: float = 2.0e9
+    fetch_width: int = 8
+    finish_width: int = 8
+    dispatch_group_size: int = 5
+    retire_groups_per_cycle: int = 1
+    rob_entries: int = 150
+    register_file_entries: int = 256
+    int_register_entries: int = 80
+    fp_register_entries: int = 72
+    memory_queue_entries: int = 32
+    issue_queue_entries: int = 64
+
+    int_units: FunctionalUnitSpec = field(
+        default_factory=lambda: FunctionalUnitSpec("int", 2)
+    )
+    fp_units: FunctionalUnitSpec = field(
+        default_factory=lambda: FunctionalUnitSpec("fp", 2)
+    )
+    ls_units: FunctionalUnitSpec = field(
+        default_factory=lambda: FunctionalUnitSpec("ls", 2)
+    )
+    br_units: FunctionalUnitSpec = field(
+        default_factory=lambda: FunctionalUnitSpec("br", 1)
+    )
+
+    #: Execution latency per op class (Table 1: INT 1/4/35, FP 5 / 28 div).
+    latencies: dict = field(
+        default_factory=lambda: {
+            OpClass.INT_ALU: 1,
+            OpClass.INT_MUL: 4,
+            OpClass.INT_DIV: 35,
+            OpClass.FP_ADD: 5,
+            OpClass.FP_MUL: 5,
+            OpClass.FP_DIV: 28,
+            OpClass.LOAD: 1,   # address generation; cache latency added
+            OpClass.STORE: 1,
+            OpClass.BRANCH: 1,
+        }
+    )
+    #: Op classes that monopolise their unit for the whole latency.
+    unpipelined_ops: frozenset = frozenset({OpClass.INT_DIV})
+
+    l1d: CacheSpec = field(
+        default_factory=lambda: CacheSpec("L1D", 32 * 1024, 2, 128, 1)
+    )
+    l1i: CacheSpec = field(
+        default_factory=lambda: CacheSpec("L1I", 64 * 1024, 1, 128, 1)
+    )
+    l2: CacheSpec = field(
+        default_factory=lambda: CacheSpec("L2", 1024 * 1024, 4, 128, 10)
+    )
+    memory_latency: int = 77
+    itlb: TlbSpec = field(default_factory=lambda: TlbSpec("iTLB", 128))
+    dtlb: TlbSpec = field(default_factory=lambda: TlbSpec("dTLB", 128))
+
+    branch_predictor_entries: int = 4096
+    mispredict_redirect_penalty: int = 3
+
+    def __post_init__(self) -> None:
+        if self.fetch_width < 1 or self.dispatch_group_size < 1:
+            raise ConfigurationError("widths must be >= 1")
+        if self.rob_entries < self.dispatch_group_size:
+            raise ConfigurationError(
+                "ROB must hold at least one dispatch group"
+            )
+        if self.register_file_entries < (
+            self.int_register_entries + self.fp_register_entries
+        ):
+            raise ConfigurationError(
+                "register file smaller than its int+fp partitions"
+            )
+        if self.memory_queue_entries < 1 or self.issue_queue_entries < 1:
+            raise ConfigurationError("queues must have >= 1 entry")
+        if self.memory_latency < 0 or self.mispredict_redirect_penalty < 0:
+            raise ConfigurationError("latencies must be >= 0")
+        missing = [op for op in OpClass if op not in self.latencies]
+        if missing:
+            raise ConfigurationError(f"latencies missing for {missing}")
+
+    @classmethod
+    def power4_like(cls, **overrides) -> "MachineConfig":
+        """The paper's base configuration, with optional field overrides."""
+        return replace(cls(), **overrides) if overrides else cls()
+
+    def unit_pool(self, kind: str) -> FunctionalUnitSpec:
+        """Look up a functional-unit pool by kind ('int'/'fp'/'ls'/'br')."""
+        pools = {
+            "int": self.int_units,
+            "fp": self.fp_units,
+            "ls": self.ls_units,
+            "br": self.br_units,
+        }
+        if kind not in pools:
+            raise ConfigurationError(f"unknown unit kind {kind!r}")
+        return pools[kind]
+
+    def latency_of(self, op: OpClass) -> int:
+        return self.latencies[op]
+
+    def table1_rows(self) -> list[tuple[str, str]]:
+        """The Table-1 rows, for the table1 benchmark and docs."""
+        return [
+            ("Processor frequency", f"{self.clock_hz / 1e9:.1f} GHz"),
+            ("Fetch/finish rate", f"{self.fetch_width} per cycle"),
+            (
+                "Retirement rate",
+                f"{self.retire_groups_per_cycle} dispatch-group "
+                f"(={self.dispatch_group_size}, max) per cycle",
+            ),
+            (
+                "Functional units",
+                f"{self.int_units.count} integer, {self.fp_units.count} FP, "
+                f"{self.ls_units.count} load-store, "
+                f"{self.br_units.count} branch",
+            ),
+            (
+                "Integer FU latencies",
+                f"{self.latencies[OpClass.INT_ALU]}/"
+                f"{self.latencies[OpClass.INT_MUL]}/"
+                f"{self.latencies[OpClass.INT_DIV]} add/multiply/divide",
+            ),
+            (
+                "FP FU latencies",
+                f"{self.latencies[OpClass.FP_ADD]} default, "
+                f"{self.latencies[OpClass.FP_DIV]} divide (pipelined)",
+            ),
+            ("Reorder buffer size", f"{self.rob_entries} entries"),
+            (
+                "Register file size",
+                f"{self.register_file_entries} entries "
+                f"({self.int_register_entries} integer, "
+                f"{self.fp_register_entries} FP, and various control)",
+            ),
+            ("Memory queue size", f"{self.memory_queue_entries} entries"),
+            ("iTLB", f"{self.itlb.entries} entries"),
+            ("dTLB", f"{self.dtlb.entries} entries"),
+            (
+                "L1 Dcache",
+                f"{self.l1d.size_bytes // 1024}KB, {self.l1d.associativity}-way, "
+                f"{self.l1d.line_bytes}-byte line",
+            ),
+            (
+                "L1 Icache",
+                f"{self.l1i.size_bytes // 1024}KB, {self.l1i.associativity}-way, "
+                f"{self.l1i.line_bytes}-byte line",
+            ),
+            (
+                "L2 (Unified)",
+                f"{self.l2.size_bytes // (1024 * 1024)}MB, "
+                f"{self.l2.associativity}-way, {self.l2.line_bytes}-byte line",
+            ),
+            ("L1 Latency", f"{self.l1d.latency} cycles"),
+            ("L2 Latency", f"{self.l2.latency} cycles"),
+            ("Main memory Latency", f"{self.memory_latency} cycles"),
+        ]

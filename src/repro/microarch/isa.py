@@ -1,0 +1,124 @@
+"""Simplified POWER-like instruction set for trace-driven simulation.
+
+A trace-driven timing model needs only the scheduling-relevant facts
+about each instruction: its operation class (which functional unit and
+latency it needs), register operands (for dependences and liveness),
+memory address (for the cache hierarchy), and branch outcome (for the
+predictor). That is what :class:`InstructionRecord` carries.
+
+Registers are architectural: 0..31 integer, 32..63 floating point
+(:data:`INT_REG_BASE`/:data:`FP_REG_BASE`). The machine's 256-entry
+physical register file (Table 1: 80 integer + 72 FP + control) is
+modelled in the pipeline's liveness accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from ..errors import TraceError
+
+#: Architectural integer registers are 0..31.
+INT_REG_BASE = 0
+#: Architectural floating-point registers are 32..63.
+FP_REG_BASE = 32
+#: Total architectural registers carried in traces.
+NUM_ARCH_REGS = 64
+
+
+class OpClass(IntEnum):
+    """Operation classes, each mapping to one functional-unit type."""
+
+    INT_ALU = 0
+    INT_MUL = 1
+    INT_DIV = 2
+    FP_ADD = 3
+    FP_MUL = 4
+    FP_DIV = 5
+    LOAD = 6
+    STORE = 7
+    BRANCH = 8
+
+    @property
+    def is_memory(self) -> bool:
+        return self in (OpClass.LOAD, OpClass.STORE)
+
+    @property
+    def is_branch(self) -> bool:
+        return self is OpClass.BRANCH
+
+    @property
+    def is_fp(self) -> bool:
+        return self in (OpClass.FP_ADD, OpClass.FP_MUL, OpClass.FP_DIV)
+
+    @property
+    def is_int(self) -> bool:
+        return self in (OpClass.INT_ALU, OpClass.INT_MUL, OpClass.INT_DIV)
+
+    @property
+    def unit(self) -> str:
+        """The functional-unit pool this class issues to."""
+        if self.is_int:
+            return "int"
+        if self.is_fp:
+            return "fp"
+        if self.is_memory:
+            return "ls"
+        return "br"
+
+
+@dataclass(frozen=True)
+class InstructionRecord:
+    """One dynamic instruction of a trace.
+
+    Attributes
+    ----------
+    op:
+        Operation class.
+    dest:
+        Destination architectural register, or ``None`` (stores,
+        branches).
+    srcs:
+        Source architectural registers (0-3 of them).
+    pc:
+        Instruction address (for the I-cache and branch predictor).
+    mem_addr:
+        Effective address for loads/stores, else ``None``.
+    taken:
+        Branch outcome for branches, else ``False``.
+    """
+
+    op: OpClass
+    dest: int | None = None
+    srcs: tuple[int, ...] = ()
+    pc: int = 0
+    mem_addr: int | None = None
+    taken: bool = False
+
+    def __post_init__(self) -> None:
+        if self.dest is not None and not 0 <= self.dest < NUM_ARCH_REGS:
+            raise TraceError(f"dest register {self.dest} out of range")
+        for src in self.srcs:
+            if not 0 <= src < NUM_ARCH_REGS:
+                raise TraceError(f"src register {src} out of range")
+        if self.op.is_memory and self.mem_addr is None:
+            raise TraceError(f"{self.op.name} needs a memory address")
+        if self.op is OpClass.STORE and self.dest is not None:
+            raise TraceError("stores do not write registers")
+        if len(self.srcs) > 3:
+            raise TraceError("at most three source registers supported")
+
+
+def validate_trace(trace: list[InstructionRecord]) -> None:
+    """Validate a whole trace (cheap structural checks)."""
+    if not trace:
+        raise TraceError("empty instruction trace")
+    # InstructionRecord validates each record on construction; here we
+    # only check the container type to catch accidental generators that
+    # were already consumed.
+    if not isinstance(trace[0], InstructionRecord):
+        raise TraceError(
+            f"trace elements must be InstructionRecord, got "
+            f"{type(trace[0]).__name__}"
+        )

@@ -1,0 +1,50 @@
+"""Pipeline statistics collected by the timing model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PipelineStats:
+    """Aggregate statistics of one simulation run."""
+
+    instructions: int = 0
+    cycles: int = 0
+    dispatch_groups: int = 0
+    l1i_misses: int = 0
+    l1d_misses: int = 0
+    l2_misses: int = 0
+    itlb_misses: int = 0
+    dtlb_misses: int = 0
+    branches: int = 0
+    mispredictions: int = 0
+    loads: int = 0
+    stores: int = 0
+    unit_busy_cycles: dict = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        """Retired instructions per cycle."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def mispredict_rate(self) -> float:
+        return self.mispredictions / self.branches if self.branches else 0.0
+
+    def summary(self) -> str:
+        lines = [
+            f"instructions: {self.instructions}",
+            f"cycles:       {self.cycles}",
+            f"IPC:          {self.ipc:.3f}",
+            f"branches:     {self.branches} "
+            f"(mispredict {self.mispredict_rate:.2%})",
+            f"loads/stores: {self.loads}/{self.stores}",
+            f"L1I/L1D/L2 misses: {self.l1i_misses}/{self.l1d_misses}/"
+            f"{self.l2_misses}",
+            f"iTLB/dTLB misses:  {self.itlb_misses}/{self.dtlb_misses}",
+        ]
+        for unit, busy in sorted(self.unit_busy_cycles.items()):
+            util = busy / self.cycles if self.cycles else 0.0
+            lines.append(f"{unit} busy: {busy} cycles ({util:.1%})")
+        return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Instruction-trace serialisation.
+
+Lets users persist synthesized traces or bring their own (e.g. converted
+from a binary-instrumentation tool) into the simulator. The format is a
+compressed ``.npz`` of parallel arrays — compact and loadable without
+any custom parsing:
+
+* ``op``        — int8 op-class codes (:class:`~repro.microarch.isa.OpClass`);
+* ``dest``      — int16 destination register, -1 for none;
+* ``srcs``      — int16 array of shape ``(n, 3)``, -1 padding;
+* ``pc``        — int64 instruction addresses;
+* ``mem_addr``  — int64 effective addresses, -1 for non-memory ops;
+* ``taken``     — bool branch outcomes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import TraceError
+from .isa import InstructionRecord, OpClass
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: list[InstructionRecord], path: "str | Path") -> None:
+    """Serialise a trace to a compressed ``.npz`` file."""
+    if not trace:
+        raise TraceError("refusing to save an empty trace")
+    n = len(trace)
+    op = np.empty(n, dtype=np.int8)
+    dest = np.full(n, -1, dtype=np.int16)
+    srcs = np.full((n, 3), -1, dtype=np.int16)
+    pc = np.empty(n, dtype=np.int64)
+    mem_addr = np.full(n, -1, dtype=np.int64)
+    taken = np.zeros(n, dtype=bool)
+    for i, record in enumerate(trace):
+        op[i] = int(record.op)
+        if record.dest is not None:
+            dest[i] = record.dest
+        for j, src in enumerate(record.srcs):
+            srcs[i, j] = src
+        pc[i] = record.pc
+        if record.mem_addr is not None:
+            mem_addr[i] = record.mem_addr
+        taken[i] = record.taken
+    np.savez_compressed(
+        Path(path),
+        version=np.asarray(_FORMAT_VERSION),
+        op=op,
+        dest=dest,
+        srcs=srcs,
+        pc=pc,
+        mem_addr=mem_addr,
+        taken=taken,
+    )
+
+
+def load_trace(path: "str | Path") -> list[InstructionRecord]:
+    """Load a trace saved by :func:`save_trace`."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"trace file not found: {path}")
+    with np.load(path, allow_pickle=False) as data:
+        try:
+            version = int(data["version"])
+            op = data["op"]
+            dest = data["dest"]
+            srcs = data["srcs"]
+            pc = data["pc"]
+            mem_addr = data["mem_addr"]
+            taken = data["taken"]
+        except KeyError as exc:
+            raise TraceError(f"{path}: missing field {exc}") from exc
+    if version != _FORMAT_VERSION:
+        raise TraceError(
+            f"{path}: unsupported trace format version {version}"
+        )
+    lengths = {arr.shape[0] for arr in (op, dest, srcs, pc, mem_addr, taken)}
+    if len(lengths) != 1:
+        raise TraceError(f"{path}: inconsistent array lengths {lengths}")
+    trace: list[InstructionRecord] = []
+    for i in range(op.shape[0]):
+        sources = tuple(int(s) for s in srcs[i] if s >= 0)
+        trace.append(
+            InstructionRecord(
+                op=OpClass(int(op[i])),
+                dest=int(dest[i]) if dest[i] >= 0 else None,
+                srcs=sources,
+                pc=int(pc[i]),
+                mem_addr=int(mem_addr[i]) if mem_addr[i] >= 0 else None,
+                taken=bool(taken[i]),
+            )
+        )
+    return trace

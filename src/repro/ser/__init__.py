@@ -1,0 +1,24 @@
+"""Raw soft-error-rate (SER) models.
+
+Provides the paper's raw-rate constants and the Table-2 parameterisation:
+a component's raw error rate is ``N x S x baseline``, where ``N`` is the
+number of elements (bits / logic devices), ``S`` scales for technology and
+altitude, and the baseline is 1e-8 errors/year per element.
+"""
+
+from .rates import (
+    ComponentErrorModel,
+    PAPER_UNIT_RATES_PER_YEAR,
+    component_rate_per_second,
+    paper_unit_rate_per_second,
+)
+from .environment import Environment, ENVIRONMENTS
+
+__all__ = [
+    "ComponentErrorModel",
+    "PAPER_UNIT_RATES_PER_YEAR",
+    "component_rate_per_second",
+    "paper_unit_rate_per_second",
+    "Environment",
+    "ENVIRONMENTS",
+]

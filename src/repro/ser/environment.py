@@ -1,0 +1,73 @@
+"""Radiation environment presets.
+
+The paper's S factor (Table 2) scales the baseline terrestrial raw error
+rate for technology and altitude: "The larger factors correspond to
+systems running in airplanes flying at a high altitude and for systems in
+outer space ... Test systems using accelerated conditions are also
+subject to high raw error rates." These presets name the Table-2 values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Environment:
+    """A named radiation environment with its rate-scaling factor."""
+
+    name: str
+    scaling: float
+    description: str
+
+    def __post_init__(self) -> None:
+        if self.scaling <= 0:
+            raise ConfigurationError(
+                f"scaling must be positive, got {self.scaling}"
+            )
+
+
+#: The Table-2 scaling factors with representative environment names.
+ENVIRONMENTS: dict[str, Environment] = {
+    env.name: env
+    for env in (
+        Environment(
+            "terrestrial", 1.0, "sea-level ground operation, current technology"
+        ),
+        Environment(
+            "scaled_technology",
+            5.0,
+            "future technology node / moderate altitude",
+        ),
+        Environment(
+            "avionics", 100.0, "commercial flight altitude (~12 km)"
+        ),
+        Environment("space", 2000.0, "outer-space radiation environment"),
+        Environment(
+            "accelerated_test",
+            5000.0,
+            "accelerated-beam test conditions",
+        ),
+    )
+}
+
+
+def environment(name: str) -> Environment:
+    """Look up an environment preset by name."""
+    if name not in ENVIRONMENTS:
+        raise ConfigurationError(
+            f"unknown environment {name!r}; have {sorted(ENVIRONMENTS)}"
+        )
+    return ENVIRONMENTS[name]
+
+
+#: The Table-2 S column, in ascending order.
+TABLE2_SCALING_FACTORS: tuple[float, ...] = (1.0, 5.0, 100.0, 2000.0, 5000.0)
+
+#: The Table-2 N column (elements per component).
+TABLE2_ELEMENT_COUNTS: tuple[float, ...] = (1e5, 1e6, 1e7, 1e8, 1e9)
+
+#: The Table-2 C column (components per system).
+TABLE2_COMPONENT_COUNTS: tuple[int, ...] = (2, 8, 5000, 50000, 500000)

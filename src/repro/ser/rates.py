@@ -1,0 +1,122 @@
+"""Component raw error rates.
+
+Two parameterisations appear in the paper:
+
+* **Unit rates** (Section 4.1): absolute raw rates for four POWER4-like
+  processor components, derived by Li et al. [DSN'05] from device-level
+  measurements — integer unit 2.3e-6, floating-point unit 4.5e-6,
+  instruction-decode unit 3.3e-6, and 256-entry register file 1.0e-4
+  errors/year.
+* **N x S rates** (Section 4.2, Table 2): ``rate = N * S * baseline``
+  with baseline 1e-8 errors/year per element, N the element count and S
+  the technology/altitude scaling factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..units import BASELINE_RATE_PER_BIT_YEAR, per_year_to_per_second
+
+#: Section 4.1 unit raw error rates, errors/year.
+PAPER_UNIT_RATES_PER_YEAR: dict[str, float] = {
+    "int_unit": 2.3e-6,
+    "fp_unit": 4.5e-6,
+    "decode_unit": 3.3e-6,
+    "register_file": 1.0e-4,
+}
+
+
+def paper_unit_rate_per_second(component: str) -> float:
+    """Raw rate (errors/second) for one of the paper's four components."""
+    if component not in PAPER_UNIT_RATES_PER_YEAR:
+        raise ConfigurationError(
+            f"unknown component {component!r}; "
+            f"have {sorted(PAPER_UNIT_RATES_PER_YEAR)}"
+        )
+    return per_year_to_per_second(PAPER_UNIT_RATES_PER_YEAR[component])
+
+
+def component_rate_per_second(
+    n_elements: float,
+    scaling: float = 1.0,
+    baseline_per_year: float = BASELINE_RATE_PER_BIT_YEAR,
+) -> float:
+    """Table-2 component raw rate: ``N * S * baseline`` in errors/second."""
+    if n_elements <= 0:
+        raise ConfigurationError(
+            f"element count must be positive, got {n_elements}"
+        )
+    if scaling <= 0:
+        raise ConfigurationError(
+            f"scaling factor must be positive, got {scaling}"
+        )
+    if baseline_per_year <= 0:
+        raise ConfigurationError(
+            f"baseline rate must be positive, got {baseline_per_year}"
+        )
+    return per_year_to_per_second(n_elements * scaling * baseline_per_year)
+
+
+@dataclass(frozen=True)
+class ComponentErrorModel:
+    """A named component with an N x S raw error rate.
+
+    Attributes
+    ----------
+    name:
+        Component label for reports.
+    n_elements:
+        Number of elements (bits of storage or logic devices), the
+        paper's N. Up to ~1e9 for large caches or whole processors.
+    scaling:
+        Technology/altitude scaling, the paper's S (1 terrestrial up to
+        5000 for space / accelerated test).
+    baseline_per_year:
+        Per-element raw rate at S = 1, errors/year.
+    """
+
+    name: str
+    n_elements: float
+    scaling: float = 1.0
+    baseline_per_year: float = BASELINE_RATE_PER_BIT_YEAR
+
+    def __post_init__(self) -> None:
+        # Validation is delegated so the dataclass stays usable in sets.
+        component_rate_per_second(
+            self.n_elements, self.scaling, self.baseline_per_year
+        )
+
+    @property
+    def n_times_s(self) -> float:
+        """The paper's headline parameter ``N x S``."""
+        return self.n_elements * self.scaling
+
+    @property
+    def rate_per_year(self) -> float:
+        return self.n_elements * self.scaling * self.baseline_per_year
+
+    @property
+    def rate_per_second(self) -> float:
+        return component_rate_per_second(
+            self.n_elements, self.scaling, self.baseline_per_year
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: N={self.n_elements:g}, S={self.scaling:g} "
+            f"-> {self.rate_per_year:g} errors/year"
+        )
+
+
+def cache_bits(megabytes: float) -> float:
+    """Bits in a cache of the given size in MB (binary mebibytes).
+
+    The paper's Figure 3 example is a "100MB cache"; 100 MB = 8.389e8
+    bits, which matches the paper's "10 errors/year for the full cache"
+    at the baseline per-bit rate (rounded).
+    """
+    if megabytes <= 0:
+        raise ConfigurationError(f"size must be positive, got {megabytes}")
+    return megabytes * 1024.0 * 1024.0 * 8.0

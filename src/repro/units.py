@@ -1,0 +1,133 @@
+"""Time and failure-rate unit conventions and conversions.
+
+The library's internal convention is:
+
+* time is measured in **seconds** (float),
+* failure/error rates are measured in **errors per second** (float).
+
+The soft-error literature, and the reproduced paper in particular, quotes
+rates in FIT (failures per billion device-hours) and in errors/year. This
+module holds the conversion helpers and the paper's named constants.
+
+The paper equates ``0.001 FIT/bit`` with ``1e-8 errors/year/bit`` (a
+rounding: 0.001 FIT = 8.76e-9 errors/year with an 8760-hour year). We keep
+the paper's rounded per-year number as the baseline constant because every
+figure in the paper is parameterised from it.
+"""
+
+from __future__ import annotations
+
+from .errors import ConfigurationError
+
+#: Hours in a (non-leap) year, the reliability-engineering convention.
+HOURS_PER_YEAR = 8760.0
+
+#: Seconds per hour.
+SECONDS_PER_HOUR = 3600.0
+
+#: Seconds per day.
+SECONDS_PER_DAY = 86400.0
+
+#: Seconds per week.
+SECONDS_PER_WEEK = 7 * SECONDS_PER_DAY
+
+#: Seconds per (8760-hour) year.
+SECONDS_PER_YEAR = HOURS_PER_YEAR * SECONDS_PER_HOUR
+
+#: Device-hours per FIT: a FIT is one failure per 1e9 device-hours.
+FIT_HOURS = 1.0e9
+
+#: The paper's baseline terrestrial raw error rate per storage bit,
+#: in errors/year ("about 1e-8 errors/year (0.001 FIT)", Section 4.2).
+BASELINE_RATE_PER_BIT_YEAR = 1.0e-8
+
+#: The same baseline expressed in errors/second (library-internal unit).
+BASELINE_RATE_PER_BIT_SEC = BASELINE_RATE_PER_BIT_YEAR / SECONDS_PER_YEAR
+
+#: The paper's base processor clock (Table 1): 2.0 GHz.
+BASE_CLOCK_HZ = 2.0e9
+
+
+def fit_to_rate_per_second(fit: float) -> float:
+    """Convert a FIT value to a failure rate in failures/second."""
+    if fit < 0:
+        raise ConfigurationError(f"FIT value must be non-negative, got {fit}")
+    return fit / (FIT_HOURS * SECONDS_PER_HOUR)
+
+
+def rate_per_second_to_fit(rate: float) -> float:
+    """Convert a failure rate in failures/second to FIT."""
+    if rate < 0:
+        raise ConfigurationError(f"rate must be non-negative, got {rate}")
+    return rate * FIT_HOURS * SECONDS_PER_HOUR
+
+
+def per_year_to_per_second(rate_per_year: float) -> float:
+    """Convert a rate in errors/year to errors/second."""
+    if rate_per_year < 0:
+        raise ConfigurationError(
+            f"rate must be non-negative, got {rate_per_year}"
+        )
+    return rate_per_year / SECONDS_PER_YEAR
+
+
+def per_second_to_per_year(rate_per_second: float) -> float:
+    """Convert a rate in errors/second to errors/year."""
+    if rate_per_second < 0:
+        raise ConfigurationError(
+            f"rate must be non-negative, got {rate_per_second}"
+        )
+    return rate_per_second * SECONDS_PER_YEAR
+
+
+def fit_to_per_year(fit: float) -> float:
+    """Convert a FIT value to errors/year (8760-hour year)."""
+    return fit_to_rate_per_second(fit) * SECONDS_PER_YEAR
+
+
+def per_year_to_fit(rate_per_year: float) -> float:
+    """Convert errors/year to FIT."""
+    return rate_per_second_to_fit(per_year_to_per_second(rate_per_year))
+
+
+def mttf_seconds_to_fit(mttf_seconds: float) -> float:
+    """Convert an MTTF in seconds to FIT using ``FIT = 1e9 / MTTF_hours``.
+
+    As the paper notes (Section 2.1), this equation embeds the assumption
+    of an exponentially distributed time to failure. It is provided for
+    reporting, not for reasoning.
+    """
+    if mttf_seconds <= 0:
+        raise ConfigurationError(
+            f"MTTF must be positive, got {mttf_seconds}"
+        )
+    return FIT_HOURS / (mttf_seconds / SECONDS_PER_HOUR)
+
+
+def cycles_to_seconds(cycles: float, clock_hz: float = BASE_CLOCK_HZ) -> float:
+    """Convert a cycle count at ``clock_hz`` to seconds."""
+    if clock_hz <= 0:
+        raise ConfigurationError(f"clock must be positive, got {clock_hz}")
+    return cycles / clock_hz
+
+
+def seconds_to_cycles(seconds: float, clock_hz: float = BASE_CLOCK_HZ) -> float:
+    """Convert seconds to a cycle count at ``clock_hz``."""
+    if clock_hz <= 0:
+        raise ConfigurationError(f"clock must be positive, got {clock_hz}")
+    return seconds * clock_hz
+
+
+def days(n: float) -> float:
+    """``n`` days in seconds; reads naturally at call sites (``days(16)``)."""
+    return n * SECONDS_PER_DAY
+
+
+def hours(n: float) -> float:
+    """``n`` hours in seconds."""
+    return n * SECONDS_PER_HOUR
+
+
+def years(n: float) -> float:
+    """``n`` (8760-hour) years in seconds."""
+    return n * SECONDS_PER_YEAR

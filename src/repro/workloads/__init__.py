@@ -1,0 +1,60 @@
+"""Workloads: SPEC CPU2000 statistical models and long-running loops.
+
+The paper simulates 100M-instruction traces of 21 SPEC CPU2000
+benchmarks (9 integer + 12 floating point) plus three synthesized
+long-running workloads. SPEC binaries and reference inputs are
+proprietary, so this package substitutes **statistical workload
+synthesis**: each benchmark is described by its published architectural
+characteristics (instruction mix, dependence distances, branch
+behaviour, memory footprint, phase structure) and a seeded generator
+emits a dynamic instruction stream with those statistics. What the
+reproduced experiments need from SPEC is exactly these statistics — they
+shape the masking trace's utilisation levels and phase lengths.
+
+The synthesized long-running workloads of Section 4.2 are built in
+:mod:`~repro.workloads.longrun`:
+
+* ``day`` — a 24-hour loop, busy during the day, idle at night;
+* ``week`` — a 7-day loop, busy five business days, idle the weekend;
+* ``combined`` — two SPEC benchmarks concatenated in a 24-hour loop.
+"""
+
+from .spec import (
+    SPEC_FP_NAMES,
+    SPEC_INT_NAMES,
+    BenchmarkProfile,
+    spec_benchmark,
+    spec_benchmarks,
+)
+from .synthesis import synthesize_trace
+from .longrun import (
+    combined_workload,
+    day_workload,
+    week_workload,
+)
+from .phases import (
+    Phase,
+    PhaseSummary,
+    detect_phases,
+    longest_phase,
+    phase_summary,
+    windowed_utilization,
+)
+
+__all__ = [
+    "SPEC_FP_NAMES",
+    "SPEC_INT_NAMES",
+    "BenchmarkProfile",
+    "spec_benchmark",
+    "spec_benchmarks",
+    "synthesize_trace",
+    "combined_workload",
+    "day_workload",
+    "week_workload",
+    "Phase",
+    "PhaseSummary",
+    "detect_phases",
+    "longest_phase",
+    "phase_summary",
+    "windowed_utilization",
+]

@@ -1,0 +1,64 @@
+"""The paper's synthesized long-running workloads (Section 4.2).
+
+These model "real world workloads [that] show large differences in
+behavior over long time scales" which SPEC cannot capture:
+
+* ``day``    — a 24-hour loop, busy during the day, idle at night;
+* ``week``   — a one-week loop, busy the five business days, idle the
+  weekend;
+* ``combined`` — two SPEC benchmarks concatenated into a 24-hour loop,
+  each half running one benchmark (its masking trace repeating inside
+  the half).
+
+For ``day``/``week`` a component is a full processor that "masks raw
+errors only during the idle portion of the workload", i.e. the
+vulnerability is 1 while busy and 0 while idle.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..masking.profile import (
+    NestedProfile,
+    PiecewiseProfile,
+    busy_idle_profile,
+)
+from ..units import SECONDS_PER_DAY, SECONDS_PER_WEEK
+
+
+def day_workload(busy_fraction: float = 0.5) -> PiecewiseProfile:
+    """The ``day`` workload: 24-hour loop, busy for ``busy_fraction``."""
+    if not 0 < busy_fraction <= 1:
+        raise ConfigurationError(
+            f"busy fraction must be in (0, 1], got {busy_fraction}"
+        )
+    return busy_idle_profile(
+        busy_fraction * SECONDS_PER_DAY, SECONDS_PER_DAY
+    )
+
+
+def week_workload(busy_days: float = 5.0) -> PiecewiseProfile:
+    """The ``week`` workload: 7-day loop, busy the first ``busy_days``."""
+    if not 0 < busy_days <= 7:
+        raise ConfigurationError(
+            f"busy days must be in (0, 7], got {busy_days}"
+        )
+    return busy_idle_profile(busy_days * SECONDS_PER_DAY, SECONDS_PER_WEEK)
+
+
+def combined_workload(
+    first: PiecewiseProfile,
+    second: PiecewiseProfile,
+    period: float = SECONDS_PER_DAY,
+) -> NestedProfile:
+    """The ``combined`` workload: two benchmarks in one loop.
+
+    The first half of each iteration cycles ``first``'s vulnerability
+    profile (one benchmark's masking trace), the second half cycles
+    ``second``'s — the paper's construction with two SPEC benchmarks and
+    a 24-hour iteration.
+    """
+    if period <= 0:
+        raise ConfigurationError(f"period must be positive, got {period}")
+    half = period / 2.0
+    return NestedProfile([(half, first), (half, second)])

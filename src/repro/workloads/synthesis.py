@@ -1,0 +1,303 @@
+"""Statistical instruction-trace synthesis.
+
+Turns a :class:`~repro.workloads.spec.BenchmarkProfile` into a dynamic
+instruction stream whose statistics match the profile:
+
+* a static CFG skeleton of ``static_blocks`` basic blocks, each with a
+  fixed op skeleton and a **branch personality** — most static branches
+  are strongly biased one way (mispredicted rarely by a bimodal
+  predictor), a profile-controlled minority are data-dependent coin
+  flips — visited by a random walk, which yields realistic I-cache and
+  branch-predictor behaviour;
+* per-instruction operands drawn with geometric dependence distances
+  over a recent-producer window, plus a set of long-lived "global"
+  registers (stack/base pointers, loop invariants) that keep part of the
+  register file live for long stretches;
+* memory addresses split between sequential streams (one miss per cache
+  line) and a three-tier locality model (hot 16KB / warm <=1MB / cold
+  full working set) for the irregular component;
+* optional two-phase modulation (compute-leaning vs memory-leaning),
+  giving the within-benchmark time structure the masking traces need.
+
+The generator is fully deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..microarch.isa import (
+    FP_REG_BASE,
+    InstructionRecord,
+    OpClass,
+)
+from .spec import BenchmarkProfile
+
+#: Long-lived integer registers (stack/frame/base pointers, globals):
+#: written in a preamble, then read throughout, rarely rewritten.
+_INT_GLOBALS = tuple(range(1, 9))
+_FP_GLOBALS = tuple(range(FP_REG_BASE, FP_REG_BASE + 4))
+#: Rotating destination pools for ordinary values.
+_INT_DEST_POOL = tuple(range(9, 32))
+_FP_DEST_POOL = tuple(range(FP_REG_BASE + 4, FP_REG_BASE + 32))
+
+#: Probability a source operand reads a global instead of a recent value.
+_GLOBAL_SRC_PROB = 0.20
+#: Probability a biased branch deviates from its preferred direction.
+_BRANCH_NOISE = 0.03
+#: Control-flow locality: size of the hot loop set and the probability a
+#: taken branch escapes it to a fresh code region.
+_LOOP_SET_SIZE = 12
+_LOOP_ESCAPE_PROB = 0.06
+#: Three-tier locality of non-streaming memory accesses.
+_HOT_BYTES = 16 * 1024
+_WARM_BYTES = 1024 * 1024
+_HOT_PROB = 0.75
+_WARM_PROB = 0.18
+
+#: Source-register counts per op class.
+_N_SRCS = {
+    OpClass.INT_ALU: 2,
+    OpClass.INT_MUL: 2,
+    OpClass.INT_DIV: 2,
+    OpClass.FP_ADD: 2,
+    OpClass.FP_MUL: 2,
+    OpClass.FP_DIV: 2,
+    OpClass.LOAD: 1,
+    OpClass.STORE: 2,
+}
+
+
+class _BlockSkeleton:
+    """One static basic block: op classes, pc, and branch personality."""
+
+    __slots__ = ("ops", "base_pc", "taken_direction", "is_random")
+
+    def __init__(self, ops, base_pc, taken_direction, is_random):
+        self.ops = ops
+        self.base_pc = base_pc
+        self.taken_direction = taken_direction
+        self.is_random = is_random
+
+
+def _phase_mix(profile: BenchmarkProfile, phase: int) -> dict:
+    """Mix for the given phase index (alternating modulation)."""
+    if profile.phase_length <= 0 or profile.phase_intensity <= 0:
+        return profile.mix
+    # Even phases lean on memory, odd phases on compute.
+    shift = profile.phase_intensity
+    mix = dict(profile.mix)
+    factor_mem = 1.0 + shift if phase % 2 == 0 else max(1.0 - shift, 0.05)
+    for op in (OpClass.LOAD, OpClass.STORE):
+        if op in mix:
+            mix[op] = mix[op] * factor_mem
+    return mix
+
+
+def _draw_ops(rng, mix: dict, count: int) -> list[OpClass]:
+    classes = list(mix.keys())
+    weights = np.asarray([mix[c] for c in classes], dtype=float)
+    weights = weights / weights.sum()
+    indices = rng.choice(len(classes), size=count, p=weights)
+    return [classes[i] for i in indices]
+
+
+class _TraceBuilder:
+    """Mutable state of one synthesis run."""
+
+    def __init__(self, profile: BenchmarkProfile, rng: np.random.Generator):
+        self.profile = profile
+        self.rng = rng
+        self.trace: list[InstructionRecord] = []
+        self.recent_int: list[int] = list(_INT_GLOBALS)
+        self.recent_fp: list[int] = list(_FP_GLOBALS)
+        self.stream_addr = 0x4000_0000
+        self.int_dest_cursor = 0
+        self.fp_dest_cursor = 0
+        self.dep_p = min(1.0 / profile.mean_dep_distance, 1.0)
+        working = max(profile.working_set_bytes, _HOT_BYTES)
+        self.hot_span = min(working, _HOT_BYTES)
+        self.warm_span = min(working, _WARM_BYTES)
+        self.cold_span = working
+
+    # -- operand helpers ------------------------------------------------
+
+    def pick_src(self, is_fp: bool) -> int:
+        rng = self.rng
+        if rng.random() < _GLOBAL_SRC_PROB:
+            pool = _FP_GLOBALS if is_fp else _INT_GLOBALS
+            return int(pool[int(rng.integers(len(pool)))])
+        pool = self.recent_fp if is_fp else self.recent_int
+        distance = min(int(rng.geometric(self.dep_p)), len(pool))
+        return pool[-distance]
+
+    def next_dest(self, is_fp: bool) -> int:
+        if is_fp:
+            dest = _FP_DEST_POOL[self.fp_dest_cursor % len(_FP_DEST_POOL)]
+            self.fp_dest_cursor += 1
+        else:
+            dest = _INT_DEST_POOL[self.int_dest_cursor % len(_INT_DEST_POOL)]
+            self.int_dest_cursor += 1
+        return dest
+
+    def note_dest(self, dest: int) -> None:
+        if dest >= FP_REG_BASE:
+            self.recent_fp.append(dest)
+            if len(self.recent_fp) > 64:
+                del self.recent_fp[:32]
+        else:
+            self.recent_int.append(dest)
+            if len(self.recent_int) > 64:
+                del self.recent_int[:32]
+
+    def memory_address(self) -> int:
+        rng = self.rng
+        if rng.random() < self.profile.streaming_fraction:
+            self.stream_addr = (self.stream_addr + 8) & 0x7FFF_FFFF
+            return self.stream_addr
+        roll = rng.random()
+        if roll < _HOT_PROB:
+            span = self.hot_span
+        elif roll < _HOT_PROB + _WARM_PROB:
+            span = self.warm_span
+        else:
+            span = self.cold_span
+        return 0x4000_0000 + (int(rng.integers(0, span)) & ~7)
+
+    # -- emission --------------------------------------------------------
+
+    def emit_preamble(self) -> None:
+        """Define the global registers so their long lives are real."""
+        pc = 0x0FFF_0000
+        for reg in (*_INT_GLOBALS, *_FP_GLOBALS):
+            self.trace.append(
+                InstructionRecord(
+                    op=OpClass.INT_ALU if reg < FP_REG_BASE else OpClass.FP_ADD,
+                    dest=reg,
+                    srcs=(),
+                    pc=pc,
+                )
+            )
+            pc += 4
+
+    def emit_op(self, op: OpClass, pc: int) -> None:
+        is_fp_op = op.is_fp
+        srcs = tuple(self.pick_src(is_fp_op) for _ in range(_N_SRCS[op]))
+        dest = None
+        mem_addr = None
+        if op is OpClass.LOAD:
+            fp_load = self.rng.random() < (
+                0.5 if self.profile.suite == "fp" else 0.05
+            )
+            dest = self.next_dest(fp_load)
+        elif op is not OpClass.STORE:
+            dest = self.next_dest(is_fp_op)
+        if op.is_memory:
+            mem_addr = self.memory_address()
+        self.trace.append(
+            InstructionRecord(
+                op=op, dest=dest, srcs=srcs, pc=pc, mem_addr=mem_addr
+            )
+        )
+        if dest is not None:
+            self.note_dest(dest)
+
+    def emit_branch(self, skeleton: _BlockSkeleton, pc: int) -> bool:
+        rng = self.rng
+        if skeleton.is_random:
+            taken = bool(rng.random() < 0.5)
+        else:
+            flip = rng.random() < _BRANCH_NOISE
+            taken = skeleton.taken_direction != flip
+        self.trace.append(
+            InstructionRecord(
+                op=OpClass.BRANCH,
+                srcs=(self.pick_src(False),),
+                pc=pc,
+                taken=taken,
+            )
+        )
+        return taken
+
+
+def synthesize_trace(
+    profile: BenchmarkProfile,
+    n_instructions: int,
+    seed: int = 0,
+) -> list[InstructionRecord]:
+    """Generate a dynamic trace with the profile's statistics.
+
+    Parameters
+    ----------
+    profile:
+        Benchmark description (see :class:`BenchmarkProfile`).
+    n_instructions:
+        Length of the dynamic stream (the paper uses 1e8; tests and
+        benchmarks use shorter windows — see DESIGN.md on why this is
+        conservative for the reproduced claims).
+    seed:
+        Generator seed; identical inputs yield identical traces.
+    """
+    if n_instructions < 1:
+        raise ConfigurationError(
+            f"need at least one instruction, got {n_instructions}"
+        )
+    rng = np.random.default_rng(seed)
+
+    mean_block = max(1.0 / profile.branch_fraction - 1.0, 1.0)
+    n_blocks = profile.static_blocks
+
+    skeletons: list[_BlockSkeleton] = []
+    pc = 0x1000_0000
+    base_mix = profile.mix
+    for _ in range(n_blocks):
+        size = int(rng.geometric(1.0 / mean_block))
+        size = max(1, min(size, 40))
+        ops = _draw_ops(rng, base_mix, size)
+        is_random = rng.random() < profile.random_branch_fraction
+        taken_direction = bool(rng.random() < profile.branch_taken_bias)
+        skeletons.append(
+            _BlockSkeleton(ops, pc, taken_direction, is_random)
+        )
+        pc += 4 * (size + 1)  # +1 for the terminating branch
+
+    builder = _TraceBuilder(profile, rng)
+    builder.emit_preamble()
+
+    # Control flow visits a slowly rotating hot set of blocks (loops),
+    # occasionally escaping to a fresh region — real programs spend most
+    # of their time in small loop nests, which is what gives branch
+    # predictors and I-caches their hit rates.
+    loop_set = list(rng.integers(0, n_blocks, size=_LOOP_SET_SIZE))
+    block_index = loop_set[0]
+    phase = 0
+    while len(builder.trace) < n_instructions:
+        if profile.phase_length > 0:
+            phase = len(builder.trace) // profile.phase_length
+        mix = _phase_mix(profile, phase)
+        skeleton = skeletons[block_index]
+        pc = skeleton.base_pc
+        ops = skeleton.ops
+        if mix is not base_mix:
+            # Resample this visit's ops under the phase mix, keeping the
+            # block length (hence pcs and branch structure) fixed.
+            ops = _draw_ops(rng, mix, len(ops))
+        for op in ops:
+            if len(builder.trace) >= n_instructions:
+                break
+            builder.emit_op(op, pc)
+            pc += 4
+        if len(builder.trace) >= n_instructions:
+            break
+        taken = builder.emit_branch(skeleton, pc)
+        if taken:
+            if rng.random() < _LOOP_ESCAPE_PROB:
+                fresh = int(rng.integers(n_blocks))
+                loop_set[int(rng.integers(_LOOP_SET_SIZE))] = fresh
+                block_index = fresh
+            else:
+                block_index = loop_set[int(rng.integers(_LOOP_SET_SIZE))]
+        else:
+            block_index = (block_index + 1) % n_blocks
+    return builder.trace[:n_instructions]

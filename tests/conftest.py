@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.masking import PiecewiseProfile, busy_idle_profile
+from repro.units import SECONDS_PER_DAY
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for stochastic tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def day_profile() -> PiecewiseProfile:
+    """The paper's `day` workload: 24h loop, busy half the time."""
+    return busy_idle_profile(0.5 * SECONDS_PER_DAY, SECONDS_PER_DAY)
+
+
+@pytest.fixture
+def fractional_profile() -> PiecewiseProfile:
+    """A profile with fractional (register-liveness-like) vulnerability."""
+    return PiecewiseProfile.from_segments(
+        [(10.0, 0.8), (5.0, 0.25), (15.0, 0.0), (20.0, 0.5)]
+    )

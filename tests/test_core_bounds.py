@@ -1,0 +1,146 @@
+"""Tests for the first-order AVF error bounds (repro.core.bounds)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import avf_mttf, exact_component_mttf
+from repro.core.bounds import (
+    avf_error_bound,
+    avf_error_first_order,
+    corrected_avf_mttf,
+    phase_skew_coefficient,
+)
+from repro.errors import EstimationError
+from repro.masking import NestedProfile, PiecewiseProfile, busy_idle_profile
+
+
+class TestPhaseSkew:
+    def test_constant_profile_has_zero_skew(self):
+        profile = PiecewiseProfile.constant(0.7, 10.0)
+        assert phase_skew_coefficient(profile) == pytest.approx(0.0, abs=1e-12)
+
+    def test_busy_idle_closed_form(self):
+        # κ = -A(L-A)/(2L) for the Section-3.1.2 loop.
+        busy, period = 3.0, 10.0
+        profile = busy_idle_profile(busy, period)
+        expected = -busy * (period - busy) / (2 * period)
+        assert phase_skew_coefficient(profile) == pytest.approx(expected)
+
+    def test_back_loaded_profile_positive(self):
+        profile = PiecewiseProfile.from_segments([(5.0, 0.0), (5.0, 1.0)])
+        assert phase_skew_coefficient(profile) > 0
+
+    def test_front_loaded_profile_negative(self):
+        profile = PiecewiseProfile.from_segments([(5.0, 1.0), (5.0, 0.0)])
+        assert phase_skew_coefficient(profile) < 0
+
+    def test_skew_bounded_by_half_mass(self):
+        profile = PiecewiseProfile.from_segments(
+            [(1.0, 0.9), (4.0, 0.1), (2.0, 0.7)]
+        )
+        assert abs(phase_skew_coefficient(profile)) <= (
+            0.5 * profile.vulnerable_time
+        )
+
+    def test_nested_matches_flattened(self):
+        inner = PiecewiseProfile.from_segments([(1.0, 1.0), (1.0, 0.0)])
+        nested = NestedProfile([(6.0, inner), (4.0, 0.25)])
+        # Flatten manually: 3 repetitions of inner then a constant tail.
+        flat = PiecewiseProfile.from_segments(
+            [(1.0, 1.0), (1.0, 0.0)] * 3 + [(4.0, 0.25)]
+        )
+        assert phase_skew_coefficient(nested) == pytest.approx(
+            phase_skew_coefficient(flat), rel=1e-9
+        )
+
+
+class TestFirstOrderError:
+    def test_matches_exact_error_at_small_mass(self):
+        profile = busy_idle_profile(4.0, 10.0)
+        rate = 1e-4  # mass 4e-4: deep inside the expansion radius
+        predicted = avf_error_first_order(rate, profile)
+        exact = exact_component_mttf(rate, profile)
+        actual = (avf_mttf(rate, profile) - exact) / exact
+        assert predicted == pytest.approx(actual, rel=1e-3)
+
+    def test_sign_front_loaded(self):
+        # Front-loaded vulnerability: AVF overestimates (positive error).
+        profile = busy_idle_profile(5.0, 10.0)
+        assert avf_error_first_order(0.01, profile) > 0
+
+    def test_sign_back_loaded(self):
+        profile = PiecewiseProfile.from_segments([(5.0, 0.0), (5.0, 1.0)])
+        assert avf_error_first_order(0.01, profile) < 0
+
+    def test_rejects_negative_rate(self):
+        profile = busy_idle_profile(1.0, 2.0)
+        with pytest.raises(EstimationError):
+            avf_error_first_order(-1.0, profile)
+
+
+class TestCorrectedEstimator:
+    def test_second_order_accuracy(self):
+        # The corrected estimator's residual must shrink quadratically
+        # while the plain AVF error shrinks linearly.
+        profile = busy_idle_profile(4.0, 12.0)
+        residual_ratios = []
+        for mass in (0.2, 0.02):
+            rate = mass / profile.vulnerable_time
+            exact = exact_component_mttf(rate, profile)
+            plain_err = abs(avf_mttf(rate, profile) - exact) / exact
+            corrected_err = abs(
+                corrected_avf_mttf(rate, profile) - exact
+            ) / exact
+            assert corrected_err < plain_err
+            residual_ratios.append(corrected_err)
+        # 10x smaller mass -> ~100x smaller corrected residual.
+        assert residual_ratios[1] < residual_ratios[0] / 30.0
+
+    def test_never_vulnerable_passthrough(self):
+        profile = PiecewiseProfile.constant(0.0, 5.0)
+        assert math.isinf(corrected_avf_mttf(1.0, profile))
+
+    def test_extreme_mass_falls_back(self):
+        # λκ < -1 would flip the sign; the estimator must fall back.
+        profile = busy_idle_profile(5.0, 10.0)
+        rate = 10.0  # mass 50
+        assert corrected_avf_mttf(rate, profile) == avf_mttf(rate, profile)
+
+
+class TestBound:
+    def test_bound_dominates_first_order(self):
+        profile = PiecewiseProfile.from_segments(
+            [(2.0, 0.8), (5.0, 0.0), (3.0, 0.4)]
+        )
+        rate = 0.05
+        assert abs(avf_error_first_order(rate, profile)) <= (
+            avf_error_bound(rate, profile) + 1e-15
+        )
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.1, max_value=5.0),
+                st.floats(min_value=0.0, max_value=1.0),
+            ),
+            min_size=1,
+            max_size=5,
+        ),
+        st.floats(min_value=1e-6, max_value=1e-2),
+    )
+    def test_bound_holds_against_exact(self, segments, rate):
+        profile = PiecewiseProfile.from_segments(segments)
+        if profile.vulnerable_time <= 1e-100:
+            return  # degenerate: derated rate underflows
+        exact = exact_component_mttf(rate, profile)
+        approx = avf_mttf(rate, profile)
+        actual = abs(approx - exact) / exact
+        bound = avf_error_bound(rate, profile)
+        # First-order bound plus a second-order slack margin.
+        mass = rate * profile.vulnerable_time
+        assert actual <= bound + mass * mass

@@ -1,0 +1,122 @@
+"""Tests for the design-space sweep engine (repro.core.designspace)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    DesignPoint,
+    MonteCarloConfig,
+    component_sweep,
+    system_sweep,
+    table2_points,
+)
+from repro.errors import DesignSpaceError
+from repro.masking import busy_idle_profile
+from repro.units import SECONDS_PER_DAY
+
+
+@pytest.fixture
+def workloads(day_profile):
+    return {"day": day_profile}
+
+
+class TestDesignPoint:
+    def test_n_times_s(self):
+        point = DesignPoint("day", 1e8, 100.0, components=8)
+        assert point.n_times_s == pytest.approx(1e10)
+
+    def test_rate(self):
+        point = DesignPoint("day", 1e9, 1.0)
+        # 1e9 bits at 1e-8/year = 10 errors/year.
+        assert point.rate_per_second * 8760 * 3600 == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(DesignSpaceError):
+            DesignPoint("day", 0.0, 1.0)
+        with pytest.raises(DesignSpaceError):
+            DesignPoint("day", 1e6, -1.0)
+        with pytest.raises(DesignSpaceError):
+            DesignPoint("day", 1e6, 1.0, components=0)
+
+
+class TestComponentSweep:
+    def test_errors_grow_with_mass(self, workloads):
+        results = component_sweep(
+            workloads,
+            (1e8, 1e12),
+            MonteCarloConfig(trials=30_000, seed=1),
+        )
+        assert len(results) == 2
+        assert abs(results[1].avf_error) > abs(results[0].avf_error)
+
+    def test_first_principles_attached(self, workloads):
+        results = component_sweep(
+            workloads, (1e9,), MonteCarloConfig(trials=5_000, seed=1)
+        )
+        res = results[0]
+        # MC and exact must agree within noise.
+        assert res.first_principles_mttf == pytest.approx(
+            res.monte_carlo_mttf,
+            abs=6 * res.monte_carlo_stderr,
+        )
+
+    def test_softarch_optional(self, workloads):
+        without = component_sweep(
+            workloads, (1e9,), MonteCarloConfig(trials=1_000, seed=1)
+        )
+        with_sa = component_sweep(
+            workloads,
+            (1e9,),
+            MonteCarloConfig(trials=1_000, seed=1),
+            include_softarch=True,
+        )
+        assert without[0].softarch_mttf is None
+        assert with_sa[0].softarch_mttf is not None
+        assert with_sa[0].softarch_mttf == pytest.approx(
+            with_sa[0].first_principles_mttf, rel=1e-6
+        )
+
+
+class TestSystemSweep:
+    def test_sofr_error_grows_with_components(self, workloads):
+        results = system_sweep(
+            workloads,
+            (1e8,),
+            (2, 50_000),
+            MonteCarloConfig(trials=30_000, seed=2),
+        )
+        by_c = {r.point.components: abs(r.sofr_error) for r in results}
+        assert by_c[50_000] > by_c[2]
+
+    def test_rows_cover_cross_product(self, workloads):
+        results = system_sweep(
+            workloads,
+            (1e8, 1e9),
+            (2, 8, 5000),
+            MonteCarloConfig(trials=2_000, seed=3),
+        )
+        assert len(results) == 6
+
+    def test_sofr_value_is_component_over_c(self, workloads):
+        results = system_sweep(
+            workloads, (1e8,), (10,), MonteCarloConfig(trials=20_000, seed=4)
+        )
+        res = results[0]
+        # SOFR = component MC MTTF / C; component MTTF ~ 2 years here.
+        assert res.sofr_only_mttf == pytest.approx(
+            730 * SECONDS_PER_DAY / 10, rel=0.05
+        )
+
+
+class TestTable2Points:
+    def test_full_grid_size(self):
+        points = table2_points(["a", "b"])
+        assert len(points) == 2 * 5 * 5 * 5
+
+    def test_custom_axes(self):
+        points = table2_points(
+            ["w"], n_values=(1e6,), s_values=(1.0, 5.0), c_values=(2,)
+        )
+        assert len(points) == 2
+        assert {p.scaling for p in points} == {1.0, 5.0}

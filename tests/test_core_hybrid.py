@@ -1,0 +1,103 @@
+"""Tests for the hybrid method selector (repro.core.hybrid)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    Component,
+    SystemModel,
+    exact_component_mttf,
+    first_principles_mttf,
+    hybrid_component_mttf,
+    hybrid_system_mttf,
+)
+from repro.core.validity import Regime
+from repro.masking import busy_idle_profile
+from repro.units import SECONDS_PER_DAY
+
+
+def day_component(mass: float, multiplicity: int = 1) -> Component:
+    profile = busy_idle_profile(0.5 * SECONDS_PER_DAY, SECONDS_PER_DAY)
+    rate = mass / profile.vulnerable_time
+    return Component("node", rate, profile, multiplicity=multiplicity)
+
+
+class TestComponentSelection:
+    def test_safe_regime_uses_avf(self):
+        result = hybrid_component_mttf(day_component(1e-6))
+        assert result.regime is Regime.SAFE
+        assert result.estimate.method == "hybrid[avf]"
+        exact = exact_component_mttf(
+            day_component(1e-6).rate_per_second,
+            day_component(1e-6).profile,
+        )
+        assert result.estimate.mttf_seconds == pytest.approx(
+            exact, rel=1e-5
+        )
+
+    def test_caution_regime_uses_correction(self):
+        comp = day_component(0.02)
+        result = hybrid_component_mttf(comp)
+        assert result.regime is Regime.CAUTION
+        assert result.estimate.method == "hybrid[avf+correction]"
+        exact = exact_component_mttf(comp.rate_per_second, comp.profile)
+        # Corrected estimator: residual O(m^2) ~ 4e-4.
+        assert result.estimate.mttf_seconds == pytest.approx(
+            exact, rel=2e-3
+        )
+
+    def test_unreliable_regime_uses_exact(self):
+        comp = day_component(5.0)
+        result = hybrid_component_mttf(comp)
+        assert result.regime is Regime.UNRELIABLE
+        assert result.estimate.method == "hybrid[first_principles]"
+        exact = exact_component_mttf(comp.rate_per_second, comp.profile)
+        assert result.estimate.mttf_seconds == pytest.approx(exact)
+
+    def test_bound_reported(self):
+        comp = day_component(0.5)
+        result = hybrid_component_mttf(comp)
+        assert result.error_bound == pytest.approx(0.25)
+
+    def test_str_mentions_regime(self):
+        text = str(hybrid_component_mttf(day_component(1e-6)))
+        assert "safe" in text
+
+
+class TestSystemSelection:
+    def test_safe_system_uses_sofr(self):
+        system = SystemModel([day_component(1e-7, multiplicity=4)])
+        result = hybrid_system_mttf(system)
+        assert result.regime is Regime.SAFE
+        assert result.estimate.method == "hybrid[avf+sofr]"
+        exact = first_principles_mttf(system).mttf_seconds
+        assert result.estimate.mttf_seconds == pytest.approx(
+            exact, rel=1e-5
+        )
+
+    def test_cluster_escalates_to_exact(self):
+        # Per-component mass tiny, but C drives the system mass up: the
+        # hybrid must refuse SOFR and return the exact value.
+        system = SystemModel([day_component(1e-4, multiplicity=50_000)])
+        result = hybrid_system_mttf(system)
+        assert result.regime is not Regime.SAFE
+        assert result.estimate.method == "hybrid[first_principles]"
+        exact = first_principles_mttf(system).mttf_seconds
+        assert result.estimate.mttf_seconds == pytest.approx(exact)
+
+    def test_hybrid_always_close_to_exact(self):
+        # The selling point: across regimes, the hybrid stays within a
+        # small tolerance of first principles while AVF+SOFR does not.
+        from repro.core import avf_sofr_mttf
+
+        for mass, mult in ((1e-6, 2), (0.03, 10), (2.0, 1000)):
+            system = SystemModel([day_component(mass, multiplicity=mult)])
+            exact = first_principles_mttf(system).mttf_seconds
+            hybrid = hybrid_system_mttf(system).estimate.mttf_seconds
+            assert abs(hybrid - exact) / exact < 5e-3
+        # ... whereas plain AVF+SOFR is off by >30% at the last point.
+        system = SystemModel([day_component(2.0, multiplicity=1000)])
+        plain = avf_sofr_mttf(system).mttf_seconds
+        exact = first_principles_mttf(system).mttf_seconds
+        assert abs(plain - exact) / exact > 0.3

@@ -1,0 +1,150 @@
+"""Tests for the instruction-level SoftArch value-graph frontend."""
+
+import pytest
+
+from repro.core import SoftArchRates, softarch_from_value_graph
+from repro.core.softarch_values import _def_use_edges, _output_reachability
+from repro.errors import EstimationError
+from repro.microarch import InstructionRecord, MachineConfig, OpClass
+from repro.microarch.pipeline import PipelineModel
+from repro.ser import paper_unit_rate_per_second
+from repro.core import Component, SystemModel, first_principles_mttf
+from repro.workloads import spec_benchmark, synthesize_trace
+from repro.microarch import simulate
+
+
+def alu(dest, srcs=(), pc=0x1000):
+    return InstructionRecord(OpClass.INT_ALU, dest=dest, srcs=srcs, pc=pc)
+
+
+def store(srcs, pc=0x2000):
+    return InstructionRecord(
+        OpClass.STORE, srcs=srcs, pc=pc, mem_addr=0x4000_0000
+    )
+
+
+def run_schedule(trace):
+    return PipelineModel(MachineConfig.power4_like()).run(trace)
+
+
+class TestDefUse:
+    def test_edges(self):
+        trace = [alu(1), alu(2, (1,)), store((2, 1))]
+        producers, consumers = _def_use_edges(trace)
+        assert producers[1] == [0]
+        assert sorted(producers[2]) == [0, 1]
+        assert consumers[0] == [1, 2]
+        assert consumers[1] == [2]
+
+    def test_redefinition_breaks_chain(self):
+        trace = [alu(1), alu(1), alu(2, (1,))]
+        _producers, consumers = _def_use_edges(trace)
+        assert consumers[0] == []  # first def overwritten before use
+        assert consumers[1] == [2]
+
+
+class TestReachability:
+    def test_store_reaches(self):
+        trace = [alu(1), store((1,))]
+        _p, consumers = _def_use_edges(trace)
+        reach = _output_reachability(trace, consumers)
+        assert reach == [True, True]
+
+    def test_dead_value_unreachable(self):
+        trace = [alu(1), alu(2), store((2,))]
+        _p, consumers = _def_use_edges(trace)
+        reach = _output_reachability(trace, consumers)
+        assert reach[0] is False  # r1 never consumed
+        assert reach[1] is True
+
+    def test_transitive_reach(self):
+        trace = [alu(1), alu(2, (1,)), alu(3, (2,)), store((3,))]
+        _p, consumers = _def_use_edges(trace)
+        reach = _output_reachability(trace, consumers)
+        assert all(reach)
+
+    def test_branch_counts_as_output(self):
+        trace = [
+            alu(1),
+            InstructionRecord(OpClass.BRANCH, srcs=(1,), pc=0x10, taken=True),
+        ]
+        _p, consumers = _def_use_edges(trace)
+        reach = _output_reachability(trace, consumers)
+        assert reach == [True, True]
+
+
+class TestTimeline:
+    def test_dead_code_produces_no_events(self):
+        # Values never reaching a store/branch are fully masked.
+        trace = [alu(i % 20 + 1, pc=0x1000 + 4 * i) for i in range(50)]
+        schedule = run_schedule(trace)
+        timeline = softarch_from_value_graph(
+            trace, schedule, MachineConfig.power4_like(),
+            SoftArchRates.paper_rates(),
+        )
+        assert timeline.event_count == 0
+        assert timeline.mttf() == float("inf")
+
+    def test_store_chain_produces_events(self):
+        trace = [alu(1), alu(2, (1,)), store((2,))]
+        schedule = run_schedule(trace)
+        timeline = softarch_from_value_graph(
+            trace, schedule, MachineConfig.power4_like(),
+            SoftArchRates.paper_rates(),
+        )
+        assert timeline.event_count >= 2  # both values + the store
+        assert timeline.mttf() > 0
+
+    def test_zero_rates_never_fail(self):
+        trace = [alu(1), store((1,))]
+        schedule = run_schedule(trace)
+        timeline = softarch_from_value_graph(
+            trace, schedule, MachineConfig.power4_like(), SoftArchRates()
+        )
+        assert timeline.mttf() == float("inf")
+
+    def test_mismatched_schedule_rejected(self):
+        trace = [alu(1)]
+        schedule = run_schedule([alu(1), alu(2)])
+        with pytest.raises(EstimationError):
+            softarch_from_value_graph(
+                trace, schedule, MachineConfig.power4_like(),
+                SoftArchRates.paper_rates(),
+            )
+
+
+class TestAgainstProfileModel:
+    def test_value_graph_masks_more_than_profile(self):
+        # The value graph lets errors die when consumers never reach an
+        # output, so its MTTF upper-bounds the Section-4.1 profile-based
+        # MTTF while staying within the same order of magnitude.
+        cfg = MachineConfig.power4_like()
+        trace = synthesize_trace(spec_benchmark("gzip"), 8_000, seed=2)
+        result = simulate(trace, cfg, workload="gzip")
+        timeline = softarch_from_value_graph(
+            trace, result.schedule, cfg, SoftArchRates.paper_rates()
+        )
+        value_graph_mttf = timeline.mttf()
+        components = [
+            Component(
+                name,
+                paper_unit_rate_per_second(name),
+                result.masking_trace.profile(name),
+            )
+            for name in (
+                "int_unit", "fp_unit", "decode_unit", "register_file"
+            )
+        ]
+        profile_mttf = first_principles_mttf(
+            SystemModel(components)
+        ).mttf_seconds
+        assert value_graph_mttf >= profile_mttf * 0.99
+        assert value_graph_mttf < profile_mttf * 20
+
+    def test_rates_validation(self):
+        with pytest.raises(EstimationError):
+            SoftArchRates(register_file_rate=-1.0)
+        with pytest.raises(EstimationError):
+            SoftArchRates(unit_rates={"int": -1.0})
+        with pytest.raises(EstimationError):
+            SoftArchRates(register_file_entries=0)

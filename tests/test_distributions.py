@@ -1,0 +1,143 @@
+"""Tests for repro.reliability.distributions."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import integrate
+
+from repro.errors import ConfigurationError
+from repro.reliability import Erlang, Exponential, Geometric, HalfNormalSquare
+
+
+class TestExponential:
+    def test_mean_and_variance(self):
+        d = Exponential(0.5)
+        assert d.mean == pytest.approx(2.0)
+        assert d.variance == pytest.approx(4.0)
+
+    def test_pdf_integrates_to_one(self):
+        d = Exponential(1.7)
+        value, _ = integrate.quad(lambda t: float(d.pdf(t)), 0, np.inf)
+        assert value == pytest.approx(1.0, rel=1e-8)
+
+    def test_cdf_survival_complementary(self):
+        d = Exponential(3.0)
+        t = np.linspace(0, 5, 11)
+        np.testing.assert_allclose(d.cdf(t) + d.survival(t), 1.0)
+
+    def test_quantile_inverts_cdf(self):
+        d = Exponential(0.2)
+        p = np.array([0.1, 0.5, 0.9])
+        np.testing.assert_allclose(d.cdf(d.quantile(p)), p)
+
+    def test_sample_mean_converges(self, rng):
+        d = Exponential(4.0)
+        samples = d.sample(200_000, rng)
+        assert samples.mean() == pytest.approx(0.25, rel=0.02)
+
+    def test_memoryless_residual(self):
+        d = Exponential(2.0)
+        assert d.memoryless_residual(10.0) == d
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ConfigurationError):
+            Exponential(0.0)
+
+    def test_negative_time_has_zero_density(self):
+        d = Exponential(1.0)
+        assert float(d.pdf(-1.0)) == 0.0
+        assert float(d.cdf(-1.0)) == 0.0
+        assert float(d.survival(-1.0)) == 1.0
+
+    def test_quantile_rejects_bad_p(self):
+        with pytest.raises(ConfigurationError):
+            Exponential(1.0).quantile(1.0)
+
+
+class TestErlang:
+    def test_erlang_1_is_exponential(self):
+        e1 = Erlang(1, 2.0)
+        exp = Exponential(2.0)
+        t = np.linspace(0.01, 4, 20)
+        np.testing.assert_allclose(e1.pdf(t), exp.pdf(t), rtol=1e-12)
+
+    def test_mean_is_k_over_lambda(self):
+        assert Erlang(5, 2.0).mean == pytest.approx(2.5)
+
+    def test_pdf_integrates_to_one(self):
+        d = Erlang(4, 1.3)
+        value, _ = integrate.quad(lambda t: float(d.pdf(t)), 0, np.inf)
+        assert value == pytest.approx(1.0, rel=1e-8)
+
+    def test_sum_of_exponentials_matches(self, rng):
+        # Erlang(3, lam) == sum of three Exponential(lam) draws.
+        lam = 1.5
+        sums = rng.exponential(1 / lam, size=(100_000, 3)).sum(axis=1)
+        erl = Erlang(3, lam)
+        assert sums.mean() == pytest.approx(erl.mean, rel=0.02)
+        assert sums.var() == pytest.approx(erl.variance, rel=0.05)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            Erlang(0, 1.0)
+
+    def test_scalar_pdf_zero_at_origin_for_k_ge_2(self):
+        assert float(Erlang(2, 1.0).pdf(0.0)) == 0.0
+
+
+class TestGeometric:
+    def test_mean_is_one_over_p(self):
+        # E[K] = 1/AVF: the Section 3.1.1 identity.
+        assert Geometric(0.25).mean == pytest.approx(4.0)
+
+    def test_pmf_sums_to_one(self):
+        d = Geometric(0.3)
+        k = np.arange(1, 200)
+        assert d.pmf(k).sum() == pytest.approx(1.0, rel=1e-10)
+
+    def test_pmf_zero_below_one(self):
+        assert float(Geometric(0.5).pmf(0)) == 0.0
+
+    def test_sample_mean(self, rng):
+        d = Geometric(0.1)
+        assert d.sample(100_000, rng).mean() == pytest.approx(10.0, rel=0.02)
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ConfigurationError):
+            Geometric(0.0)
+        with pytest.raises(ConfigurationError):
+            Geometric(1.5)
+
+
+class TestHalfNormalSquare:
+    def test_mean_is_one_over_sqrt_pi(self):
+        # Section 3.2.2: E[X] = 1/sqrt(pi).
+        assert HalfNormalSquare().mean == pytest.approx(1 / math.sqrt(math.pi))
+
+    def test_pdf_integrates_to_one(self):
+        d = HalfNormalSquare()
+        value, _ = integrate.quad(lambda t: float(d.pdf(t)), 0, np.inf)
+        assert value == pytest.approx(1.0, rel=1e-9)
+
+    def test_mean_from_pdf(self):
+        d = HalfNormalSquare()
+        value, _ = integrate.quad(lambda t: t * float(d.pdf(t)), 0, np.inf)
+        assert value == pytest.approx(d.mean, rel=1e-9)
+
+    def test_survival_is_erfc(self):
+        from scipy.special import erfc
+
+        d = HalfNormalSquare()
+        x = np.linspace(0, 3, 7)
+        np.testing.assert_allclose(d.survival(x), erfc(x))
+
+    def test_cdf_survival_complementary(self):
+        d = HalfNormalSquare()
+        x = np.linspace(0, 2, 9)
+        np.testing.assert_allclose(d.cdf(x) + d.survival(x), 1.0)
+
+    def test_sampler_matches_mean(self, rng):
+        d = HalfNormalSquare()
+        samples = d.sample(200_000, rng)
+        assert samples.mean() == pytest.approx(d.mean, rel=0.01)

@@ -1,0 +1,136 @@
+"""Failure-injection tests: degenerate, adversarial, and extreme inputs.
+
+The DESIGN.md testing strategy calls for deliberately hostile
+configurations: zero/huge rates, single-cycle loops, enormous segment
+counts, numerical extremes. Every case must either produce a correct
+answer or fail loudly with a library exception — never a silent NaN.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Component,
+    MonteCarloConfig,
+    SystemModel,
+    avf_mttf,
+    exact_component_mttf,
+    first_principles_mttf,
+    monte_carlo_component_mttf,
+    softarch_component_mttf,
+)
+from repro.errors import ProfileError, ReproError
+from repro.masking import PiecewiseProfile, busy_idle_profile, from_cycle_mask
+from repro.reliability import FailureProcess
+from repro.reliability.hazard import PiecewiseHazard
+
+
+class TestDegenerateProfiles:
+    def test_single_cycle_loop(self):
+        # A one-cycle "loop" at 2 GHz: the smallest possible L.
+        profile = from_cycle_mask(np.array([1.0]), 5e-10)
+        assert exact_component_mttf(1e-6, profile) == pytest.approx(1e6)
+
+    def test_always_masked(self):
+        profile = PiecewiseProfile.constant(0.0, 10.0)
+        assert math.isinf(exact_component_mttf(1.0, profile))
+        assert math.isinf(avf_mttf(1.0, profile))
+        assert math.isinf(softarch_component_mttf(1.0, profile))
+
+    def test_never_masked(self):
+        profile = PiecewiseProfile.constant(1.0, 10.0)
+        for lam in (1e-12, 1.0, 1e6):
+            assert exact_component_mttf(lam, profile) == pytest.approx(
+                1.0 / lam
+            )
+
+    def test_vanishingly_short_vulnerable_window(self):
+        # One nanosecond of vulnerability per day.
+        profile = busy_idle_profile(1e-9, 86400.0)
+        lam = 1.0
+        exact = exact_component_mttf(lam, profile)
+        # MTTF ~ L/(λ·A) for small per-iteration mass.
+        assert exact == pytest.approx(86400.0 / 1e-9, rel=1e-3)
+
+    def test_huge_segment_count(self):
+        rng = np.random.default_rng(1)
+        mask = rng.random(200_000) < 0.5
+        profile = from_cycle_mask(mask, 1e-9)
+        exact = exact_component_mttf(1e3, profile)
+        assert math.isfinite(exact) and exact > 0
+        sa = softarch_component_mttf(1e3, profile)
+        assert sa == pytest.approx(exact, rel=1e-6)
+
+
+class TestExtremeRates:
+    def test_enormous_rate(self):
+        profile = busy_idle_profile(5.0, 10.0)
+        # 1e9 errors/second: failure is immediate once vulnerable.
+        exact = exact_component_mttf(1e9, profile)
+        assert exact == pytest.approx(1e-9, rel=1e-3)
+
+    def test_tiny_rate(self):
+        profile = busy_idle_profile(5.0, 10.0)
+        exact = exact_component_mttf(1e-300, profile)
+        assert exact == pytest.approx(2e300, rel=1e-6)
+
+    def test_zero_rate_component(self):
+        profile = busy_idle_profile(5.0, 10.0)
+        comp = Component("c", 0.0, profile)
+        est = monte_carlo_component_mttf(comp, MonteCarloConfig(trials=10))
+        assert math.isinf(est.mttf_seconds)
+
+    def test_negative_rate_rejected_everywhere(self):
+        profile = busy_idle_profile(1.0, 2.0)
+        with pytest.raises(ReproError):
+            Component("c", -1.0, profile)
+        with pytest.raises(ReproError):
+            avf_mttf(-1.0, profile)
+        with pytest.raises(ReproError):
+            softarch_component_mttf(-1.0, profile)
+        with pytest.raises(ReproError):
+            profile.to_hazard(-1.0)
+
+
+class TestNumericalExtremes:
+    def test_subnormal_rates_no_silent_nan(self):
+        h = PiecewiseHazard.from_segments([(1.0, 5e-324), (1.0, 1.0)])
+        process = FailureProcess(h)
+        assert math.isfinite(process.mttf())
+        assert not math.isnan(process.variance())
+
+    def test_mass_near_overflow_boundary(self):
+        h = PiecewiseHazard.from_segments([(1.0, 800.0)])
+        process = FailureProcess(h)
+        assert process.mttf() == pytest.approx(1 / 800.0, rel=1e-6)
+
+    def test_mixed_magnitudes_in_one_system(self):
+        fast = Component(
+            "fast", 1.0, busy_idle_profile(1.0, 2.0)
+        )
+        slow = Component(
+            "slow", 1e-15, busy_idle_profile(1.0, 2.0)
+        )
+        system = SystemModel([fast, slow])
+        combined = first_principles_mttf(system).mttf_seconds
+        only_fast = first_principles_mttf(
+            SystemModel([fast])
+        ).mttf_seconds
+        # The negligible component must not perturb the result.
+        assert combined == pytest.approx(only_fast, rel=1e-9)
+
+    def test_infinite_values_rejected_in_profiles(self):
+        with pytest.raises(ProfileError):
+            PiecewiseProfile([0.0, np.inf], [0.5])
+        with pytest.raises(ProfileError):
+            PiecewiseProfile([0.0, 1.0], [np.nan])
+
+    def test_monte_carlo_huge_mass_trials_finite(self):
+        profile = busy_idle_profile(5.0, 10.0)
+        comp = Component("c", 1e6, profile)
+        samples_cfg = MonteCarloConfig(trials=1_000, seed=1)
+        est = monte_carlo_component_mttf(comp, samples_cfg)
+        assert math.isfinite(est.mttf_seconds)
+        assert est.mttf_seconds == pytest.approx(1e-6, rel=0.2)

@@ -1,0 +1,29 @@
+"""Tests for the experiment CLI (repro-experiments)."""
+
+from repro.harness.runner import main
+
+
+class TestRunnerCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out and "sec5.1" in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "available experiments" in capsys.readouterr().out
+
+    def test_run_single(self, capsys):
+        assert main(["fig4", "--trials", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "SOFR" in out
+        assert "completed in" in out
+
+    def test_markdown_output(self, tmp_path, capsys):
+        report = tmp_path / "report.md"
+        assert main(
+            ["table2", "--markdown", str(report)]
+        ) == 0
+        content = report.read_text()
+        assert content.startswith("# Experiment results")
+        assert "table2" in content

@@ -1,0 +1,82 @@
+"""Tests for result tables and figure rendering."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness import Table, render_series
+from repro.harness.tables import percent
+
+
+class TestTable:
+    def test_render_contains_everything(self):
+        table = Table("Demo", ["a", "b"])
+        table.add_row(1, "x")
+        table.add_row(2.5, "y")
+        text = table.render()
+        assert "Demo" in text
+        assert "2.5" in text and "y" in text
+
+    def test_markdown_shape(self):
+        table = Table("Demo", ["a", "b"])
+        table.add_row(1, 2)
+        md = table.render_markdown()
+        assert "| a | b |" in md
+        assert "|---|---|" in md
+
+    def test_row_arity_checked(self):
+        table = Table("t", ["a"])
+        with pytest.raises(ConfigurationError):
+            table.add_row(1, 2)
+
+    def test_column_access(self):
+        table = Table("t", ["a", "b"])
+        table.add_row(1, 2)
+        table.add_row(3, 4)
+        assert table.column("b") == ["2", "4"]
+        with pytest.raises(ConfigurationError):
+            table.column("c")
+
+    def test_float_formatting(self):
+        table = Table("t", ["v"])
+        table.add_row(1.234e-8)
+        table.add_row(0.0)
+        table.add_row(True)
+        assert table.column("v") == ["1.234e-08", "0", "yes"]
+
+    def test_needs_columns(self):
+        with pytest.raises(ConfigurationError):
+            Table("t", [])
+
+    def test_len(self):
+        table = Table("t", ["a"])
+        table.add_row(1)
+        assert len(table) == 1
+
+    def test_percent_helper(self):
+        assert percent(0.123) == "+12.30%"
+        assert percent(-0.01) == "-1.00%"
+
+
+class TestRenderSeries:
+    def test_bars_scale(self):
+        text = render_series(
+            "chart", ["a", "b"], {"s": [0.1, 0.5]}, width=10
+        )
+        assert "chart" in text
+        assert text.count("#") >= 10  # the 0.5 bar is full width
+
+    def test_negative_bars_marked(self):
+        text = render_series("c", ["x"], {"s": [-0.2]})
+        assert "-" in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_series("c", ["x", "y"], {"s": [1.0]})
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_series("c", ["x"], {})
+
+    def test_all_zero_values(self):
+        text = render_series("c", ["x"], {"s": [0.0]})
+        assert "0.00%" in text

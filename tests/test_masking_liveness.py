@@ -1,0 +1,54 @@
+"""Tests for register-liveness accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.masking import live_counts_from_intervals
+from repro.masking.liveness import live_fraction, merge_register_intervals
+
+
+class TestLiveCounts:
+    def test_single_interval(self):
+        counts = live_counts_from_intervals([(2, 5)], 8)
+        np.testing.assert_array_equal(counts, [0, 0, 1, 1, 1, 0, 0, 0])
+
+    def test_overlapping_intervals(self):
+        counts = live_counts_from_intervals([(0, 4), (2, 6)], 6)
+        np.testing.assert_array_equal(counts, [1, 1, 2, 2, 1, 1])
+
+    def test_clipping(self):
+        counts = live_counts_from_intervals([(-5, 2), (4, 100)], 6)
+        np.testing.assert_array_equal(counts, [1, 1, 0, 0, 1, 1])
+
+    def test_empty_and_degenerate_intervals_ignored(self):
+        counts = live_counts_from_intervals([(3, 3), (5, 4)], 6)
+        assert counts.sum() == 0
+
+    def test_rejects_bad_cycle_count(self):
+        with pytest.raises(TraceError):
+            live_counts_from_intervals([], 0)
+
+
+class TestLiveFraction:
+    def test_fraction(self):
+        frac = live_fraction([(0, 2), (0, 2)], 4, 4)
+        np.testing.assert_allclose(frac, [0.5, 0.5, 0.0, 0.0])
+
+    def test_rejects_overflow(self):
+        with pytest.raises(TraceError):
+            live_fraction([(0, 2), (0, 2), (0, 2)], 2, 2)
+
+    def test_rejects_bad_register_count(self):
+        with pytest.raises(TraceError):
+            live_fraction([], 4, 0)
+
+
+class TestMergeIntervals:
+    def test_merge(self):
+        merged = merge_register_intervals([[(0, 2), (3, 5)], [(1, 4)]])
+        assert merged == [(0, 2), (3, 5), (1, 4)]
+
+    def test_rejects_overlap_within_register(self):
+        with pytest.raises(TraceError):
+            merge_register_intervals([[(0, 3), (2, 5)]])

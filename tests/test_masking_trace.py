@@ -1,0 +1,79 @@
+"""Tests for MaskingTrace."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.masking import MaskingTrace
+
+
+@pytest.fixture
+def trace():
+    return MaskingTrace(
+        {
+            "int_unit": np.array([1, 1, 0, 0], dtype=bool),
+            "register_file": np.array([0.5, 0.25, 0.25, 1.0]),
+        },
+        clock_hz=2.0e9,
+        workload="unit-test",
+    )
+
+
+class TestConstruction:
+    def test_component_names(self, trace):
+        assert set(trace.component_names) == {"int_unit", "register_file"}
+
+    def test_duration(self, trace):
+        assert trace.duration_seconds == pytest.approx(4 / 2.0e9)
+
+    def test_rejects_empty(self):
+        with pytest.raises(TraceError):
+            MaskingTrace({})
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(TraceError):
+            MaskingTrace(
+                {"a": np.ones(3), "b": np.ones(4)},
+            )
+
+    def test_rejects_out_of_range_values(self):
+        with pytest.raises(TraceError):
+            MaskingTrace({"a": np.array([0.5, 1.5])})
+
+    def test_rejects_bad_clock(self):
+        with pytest.raises(TraceError):
+            MaskingTrace({"a": np.ones(2)}, clock_hz=0.0)
+
+
+class TestQueries:
+    def test_avf(self, trace):
+        assert trace.avf("int_unit") == pytest.approx(0.5)
+        assert trace.avf("register_file") == pytest.approx(0.5)
+
+    def test_profile_avf_matches(self, trace):
+        for name in trace.component_names:
+            assert trace.profile(name).avf == pytest.approx(trace.avf(name))
+
+    def test_profile_period(self, trace):
+        assert trace.profile("int_unit").period == pytest.approx(
+            trace.duration_seconds
+        )
+
+    def test_unknown_component(self, trace):
+        with pytest.raises(TraceError):
+            trace.mask("does-not-exist")
+
+    def test_utilization_summary(self, trace):
+        summary = trace.utilization_summary()
+        assert summary["int_unit"] == pytest.approx(0.5)
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = MaskingTrace.load(path)
+        assert loaded.workload == "unit-test"
+        assert loaded.clock_hz == pytest.approx(trace.clock_hz)
+        for name in trace.component_names:
+            np.testing.assert_allclose(loaded.mask(name), trace.mask(name))

@@ -1,0 +1,50 @@
+"""Tests for the bimodal branch predictor."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.microarch import BimodalPredictor
+
+
+class TestBimodal:
+    def test_learns_always_taken(self):
+        p = BimodalPredictor(16)
+        for _ in range(4):
+            p.predict_and_update(0x100, True)
+        assert p.predict_and_update(0x100, True)
+
+    def test_learns_always_not_taken(self):
+        p = BimodalPredictor(16)
+        for _ in range(4):
+            p.predict_and_update(0x100, False)
+        assert p.predict_and_update(0x100, False)
+
+    def test_hysteresis_survives_single_flip(self):
+        p = BimodalPredictor(16, initial=3)
+        p.predict_and_update(0x100, False)  # 3 -> 2
+        assert p.predict_and_update(0x100, True)  # still predicts taken
+
+    def test_mispredict_rate_on_alternating(self):
+        p = BimodalPredictor(16, initial=1)
+        for i in range(1000):
+            p.predict_and_update(0x100, i % 2 == 0)
+        assert p.mispredict_rate > 0.4
+
+    def test_distinct_pcs_use_distinct_counters(self):
+        p = BimodalPredictor(1024)
+        for _ in range(4):
+            p.predict_and_update(0x100, True)
+            p.predict_and_update(0x200, False)
+        assert p.predict_and_update(0x100, True)
+        assert p.predict_and_update(0x200, False)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            BimodalPredictor(1000)
+
+    def test_rejects_bad_initial(self):
+        with pytest.raises(ConfigurationError):
+            BimodalPredictor(16, initial=4)
+
+    def test_rate_zero_before_predictions(self):
+        assert BimodalPredictor(16).mispredict_rate == 0.0

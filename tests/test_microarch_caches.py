@@ -1,0 +1,126 @@
+"""Tests for caches, TLBs, and the memory hierarchy."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.microarch import Cache, CacheSpec, Tlb, TlbSpec
+from repro.microarch.caches import MemoryHierarchy
+
+
+def small_cache(size=1024, assoc=2, line=64, latency=1, name="c"):
+    return Cache(CacheSpec(name, size, assoc, line, latency))
+
+
+class TestCache:
+    def test_first_access_misses_then_hits(self):
+        c = small_cache()
+        assert not c.lookup(0x100)
+        assert c.lookup(0x100)
+        assert c.hits == 1 and c.misses == 1
+
+    def test_same_line_hits(self):
+        c = small_cache(line=64)
+        c.lookup(0x100)
+        assert c.lookup(0x13F)  # same 64-byte line
+
+    def test_lru_eviction(self):
+        # 2-way set: third distinct tag to one set evicts the LRU.
+        c = small_cache(size=256, assoc=2, line=64)  # 2 sets
+        n_sets = c.spec.n_sets
+        line = 64
+        set_stride = n_sets * line
+        a, b, d = 0x0, set_stride, 2 * set_stride  # same set
+        c.lookup(a)
+        c.lookup(b)
+        c.lookup(a)  # a is now MRU
+        c.lookup(d)  # evicts b
+        assert c.lookup(a)
+        assert not c.lookup(b)
+
+    def test_fill_does_not_count(self):
+        c = small_cache()
+        c.fill(0x100)
+        assert c.accesses == 0
+        assert c.lookup(0x100)  # prefilled line hits
+
+    def test_miss_rate(self):
+        c = small_cache()
+        c.lookup(0x0)
+        c.lookup(0x0)
+        assert c.miss_rate == pytest.approx(0.5)
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ConfigurationError):
+            Cache(CacheSpec("c", 1200, 2, 100, 1))
+
+    def test_reset_stats(self):
+        c = small_cache()
+        c.lookup(0x0)
+        c.reset_stats()
+        assert c.accesses == 0
+
+
+class TestTlb:
+    def test_hit_after_fill(self):
+        t = Tlb(TlbSpec("t", 4))
+        assert not t.lookup(0x1000)
+        assert t.lookup(0x1FFF)  # same 4K page
+
+    def test_capacity_eviction(self):
+        t = Tlb(TlbSpec("t", 2))
+        t.lookup(0x0000)
+        t.lookup(0x1000)
+        t.lookup(0x2000)  # evicts page 0
+        assert not t.lookup(0x0000)
+
+    def test_lru_order(self):
+        t = Tlb(TlbSpec("t", 2))
+        t.lookup(0x0000)
+        t.lookup(0x1000)
+        t.lookup(0x0000)  # page 0 MRU
+        t.lookup(0x2000)  # evicts page 1
+        assert t.lookup(0x0000)
+        assert not t.lookup(0x1000)
+
+
+class TestMemoryHierarchy:
+    def make(self, prefetch=False):
+        l1 = small_cache(size=512, assoc=2, line=64, latency=1, name="L1")
+        l2 = small_cache(size=4096, assoc=4, line=64, latency=10, name="L2")
+        tlb = Tlb(TlbSpec("tlb", 64, miss_penalty=30))
+        return MemoryHierarchy(l1, l2, tlb, 77, prefetch=prefetch)
+
+    def test_cold_access_full_latency(self):
+        h = self.make()
+        # TLB miss 30 + L1 1 + L2 10 + memory 77.
+        assert h.access(0x100) == 30 + 1 + 10 + 77
+
+    def test_warm_access_l1_latency(self):
+        h = self.make()
+        h.access(0x100)
+        assert h.access(0x100) == 1
+
+    def test_l2_hit_path(self):
+        h = self.make()
+        h.access(0x0)
+        # Touch enough lines mapping to the same L1 set to evict line 0
+        # from L1 while it stays in the larger L2.
+        n_sets = h.l1.spec.n_sets
+        for k in range(1, 3):
+            h.access(k * n_sets * 64)
+        latency = h.access(0x0)
+        assert latency == 1 + 10  # TLB hit, L1 miss, L2 hit
+
+    def test_prefetch_hides_sequential_stream(self):
+        h = self.make(prefetch=True)
+        line = 64
+        h.access(0x0)  # cold miss, prefetches line 1
+        latencies = [h.access(line * k) for k in range(1, 6)]
+        assert all(lat == 1 for lat in latencies)
+
+    def test_no_prefetch_misses_every_line(self):
+        h = self.make(prefetch=False)
+        line = 64
+        h.access(0x0)
+        latencies = [h.access(line * k) for k in range(1, 6)]
+        assert all(lat > 1 for lat in latencies)

@@ -1,0 +1,111 @@
+"""Tests for MachineConfig (Table 1)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.microarch import CacheSpec, FunctionalUnitSpec, MachineConfig, TlbSpec
+from repro.microarch.isa import OpClass
+
+
+class TestTable1Defaults:
+    """The default configuration must be exactly the paper's Table 1."""
+
+    def test_clock(self):
+        assert MachineConfig.power4_like().clock_hz == pytest.approx(2.0e9)
+
+    def test_widths(self):
+        cfg = MachineConfig.power4_like()
+        assert cfg.fetch_width == 8
+        assert cfg.finish_width == 8
+        assert cfg.dispatch_group_size == 5
+        assert cfg.retire_groups_per_cycle == 1
+
+    def test_functional_units(self):
+        cfg = MachineConfig.power4_like()
+        assert cfg.int_units.count == 2
+        assert cfg.fp_units.count == 2
+        assert cfg.ls_units.count == 2
+        assert cfg.br_units.count == 1
+
+    def test_latencies(self):
+        cfg = MachineConfig.power4_like()
+        assert cfg.latency_of(OpClass.INT_ALU) == 1
+        assert cfg.latency_of(OpClass.INT_MUL) == 4
+        assert cfg.latency_of(OpClass.INT_DIV) == 35
+        assert cfg.latency_of(OpClass.FP_ADD) == 5
+        assert cfg.latency_of(OpClass.FP_DIV) == 28
+
+    def test_buffers(self):
+        cfg = MachineConfig.power4_like()
+        assert cfg.rob_entries == 150
+        assert cfg.register_file_entries == 256
+        assert cfg.int_register_entries == 80
+        assert cfg.fp_register_entries == 72
+        assert cfg.memory_queue_entries == 32
+
+    def test_caches(self):
+        cfg = MachineConfig.power4_like()
+        assert cfg.l1d.size_bytes == 32 * 1024
+        assert cfg.l1d.associativity == 2
+        assert cfg.l1i.size_bytes == 64 * 1024
+        assert cfg.l1i.associativity == 1
+        assert cfg.l2.size_bytes == 1024 * 1024
+        assert cfg.l2.associativity == 4
+        assert all(
+            spec.line_bytes == 128 for spec in (cfg.l1d, cfg.l1i, cfg.l2)
+        )
+
+    def test_latencies_memory(self):
+        cfg = MachineConfig.power4_like()
+        assert cfg.l1d.latency == 1
+        assert cfg.l2.latency == 10
+        assert cfg.memory_latency == 77
+
+    def test_tlbs(self):
+        cfg = MachineConfig.power4_like()
+        assert cfg.itlb.entries == 128
+        assert cfg.dtlb.entries == 128
+
+    def test_table1_rows_render(self):
+        rows = MachineConfig.power4_like().table1_rows()
+        rendered = dict(rows)
+        assert rendered["Processor frequency"] == "2.0 GHz"
+        assert rendered["Reorder buffer size"] == "150 entries"
+        assert "2 integer" in rendered["Functional units"]
+
+
+class TestOverridesAndValidation:
+    def test_override(self):
+        cfg = MachineConfig.power4_like(rob_entries=64)
+        assert cfg.rob_entries == 64
+
+    def test_cache_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            CacheSpec("bad", 1000, 3, 128, 1)  # size not multiple
+        with pytest.raises(ConfigurationError):
+            CacheSpec("bad", 1024, 0, 128, 1)
+
+    def test_n_sets(self):
+        assert CacheSpec("c", 32 * 1024, 2, 128, 1).n_sets == 128
+
+    def test_unit_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            FunctionalUnitSpec("int", 0)
+
+    def test_tlb_validation(self):
+        with pytest.raises(ConfigurationError):
+            TlbSpec("t", 0)
+
+    def test_rob_must_hold_group(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig.power4_like(rob_entries=3)
+
+    def test_register_partitions_checked(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig.power4_like(register_file_entries=100)
+
+    def test_unit_pool_lookup(self):
+        cfg = MachineConfig.power4_like()
+        assert cfg.unit_pool("fp").count == 2
+        with pytest.raises(ConfigurationError):
+            cfg.unit_pool("vector")

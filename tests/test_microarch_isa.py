@@ -1,0 +1,63 @@
+"""Tests for the ISA definitions."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.microarch import InstructionRecord, OpClass
+from repro.microarch.isa import NUM_ARCH_REGS, validate_trace
+
+
+class TestOpClass:
+    def test_unit_mapping(self):
+        assert OpClass.INT_ALU.unit == "int"
+        assert OpClass.INT_DIV.unit == "int"
+        assert OpClass.FP_MUL.unit == "fp"
+        assert OpClass.LOAD.unit == "ls"
+        assert OpClass.STORE.unit == "ls"
+        assert OpClass.BRANCH.unit == "br"
+
+    def test_predicates(self):
+        assert OpClass.LOAD.is_memory
+        assert not OpClass.INT_ALU.is_memory
+        assert OpClass.BRANCH.is_branch
+        assert OpClass.FP_DIV.is_fp
+        assert OpClass.INT_MUL.is_int
+
+
+class TestInstructionRecord:
+    def test_valid_alu(self):
+        rec = InstructionRecord(OpClass.INT_ALU, dest=3, srcs=(1, 2), pc=0x100)
+        assert rec.dest == 3
+
+    def test_rejects_register_out_of_range(self):
+        with pytest.raises(TraceError):
+            InstructionRecord(OpClass.INT_ALU, dest=NUM_ARCH_REGS)
+        with pytest.raises(TraceError):
+            InstructionRecord(OpClass.INT_ALU, dest=1, srcs=(NUM_ARCH_REGS,))
+
+    def test_memory_needs_address(self):
+        with pytest.raises(TraceError):
+            InstructionRecord(OpClass.LOAD, dest=1, srcs=(2,))
+
+    def test_store_has_no_dest(self):
+        with pytest.raises(TraceError):
+            InstructionRecord(
+                OpClass.STORE, dest=1, srcs=(2, 3), mem_addr=0x1000
+            )
+
+    def test_too_many_sources(self):
+        with pytest.raises(TraceError):
+            InstructionRecord(OpClass.INT_ALU, dest=1, srcs=(1, 2, 3, 4))
+
+
+class TestValidateTrace:
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            validate_trace([])
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(TraceError):
+            validate_trace(["not an instruction"])
+
+    def test_valid_trace_passes(self):
+        validate_trace([InstructionRecord(OpClass.INT_ALU, dest=1)])

@@ -1,0 +1,188 @@
+"""Tests for the pipeline timing model: ordering and resource invariants."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.microarch import InstructionRecord, MachineConfig, OpClass, simulate
+from repro.microarch.pipeline import PipelineModel
+from repro.workloads import spec_benchmark, synthesize_trace
+
+
+def alu(dest, srcs=(), pc=0x1000):
+    return InstructionRecord(OpClass.INT_ALU, dest=dest, srcs=srcs, pc=pc)
+
+
+def run(trace, **overrides):
+    cfg = MachineConfig.power4_like(**overrides)
+    return PipelineModel(cfg).run(trace)
+
+
+class TestBasicOrdering:
+    def test_single_instruction(self):
+        schedule = run([alu(1)])
+        assert schedule.retire[0] > schedule.complete[0] >= schedule.issue[0]
+        assert schedule.issue[0] > schedule.dispatch[0] >= schedule.fetch[0]
+
+    def test_dependent_chain_serialises(self):
+        trace = [alu(1), alu(2, (1,)), alu(3, (2,)), alu(4, (3,))]
+        schedule = run(trace)
+        for i in range(1, 4):
+            assert schedule.issue[i] >= schedule.complete[i - 1]
+
+    def test_independent_ops_overlap(self):
+        trace = [alu(i + 1) for i in range(2)]
+        schedule = run(trace)
+        # Two int units: both issue in the same cycle.
+        assert schedule.issue[0] == schedule.issue[1]
+
+    def test_retirement_in_order(self):
+        profile = spec_benchmark("gzip")
+        trace = synthesize_trace(profile, 2000, seed=3)
+        schedule = run(trace)
+        retire = schedule.retire
+        assert all(a <= b for a, b in zip(retire, retire[1:]))
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(SimulationError):
+            run([])
+
+
+class TestFunctionalUnits:
+    def test_int_divide_blocks_unit(self):
+        # Two divides on 2 int units issue together; a third waits for a
+        # unit to free (35-cycle block).
+        div = lambda d: InstructionRecord(OpClass.INT_DIV, dest=d)
+        trace = [div(1), div(2), div(3)]
+        schedule = run(trace)
+        assert schedule.issue[2] >= schedule.issue[0] + 35
+
+    def test_pipelined_fp_accepts_back_to_back(self):
+        fp = lambda d: InstructionRecord(OpClass.FP_ADD, dest=d)
+        trace = [fp(40), fp(41), fp(42), fp(43)]
+        schedule = run(trace)
+        # 2 FP units, pipelined: ops 3 and 4 issue one cycle after 1 and 2.
+        assert schedule.issue[2] == schedule.issue[0] + 1
+        assert schedule.issue[3] == schedule.issue[1] + 1
+
+    def test_latencies_respected(self):
+        trace = [
+            InstructionRecord(OpClass.INT_MUL, dest=1),
+            InstructionRecord(OpClass.FP_DIV, dest=40),
+        ]
+        schedule = run(trace)
+        assert schedule.complete[0] == schedule.issue[0] + 4
+        assert schedule.complete[1] == schedule.issue[1] + 28
+
+
+class TestStructuralLimits:
+    def test_rob_backpressure(self):
+        # A long-latency head instruction with a full ROB behind it
+        # stalls dispatch of younger instructions.
+        head = InstructionRecord(OpClass.INT_DIV, dest=1)
+        body = [alu(2, (1,), pc=0x1000 + 4 * i) for i in range(200)]
+        schedule = run([head] + body, rob_entries=16)
+        # Instruction 16 cannot dispatch until the head's group retires.
+        assert schedule.dispatch[30] > schedule.retire[0]
+
+    def test_dispatch_group_limit(self):
+        trace = [alu(i % 30 + 1, pc=0x1000 + 4 * i) for i in range(10)]
+        schedule = run(trace)
+        # 10 ALU ops = 2 groups minimum -> at least 2 distinct dispatch cycles.
+        assert len(set(schedule.dispatch)) >= 2
+
+    def test_memory_queue_limits_outstanding_loads(self):
+        loads = [
+            InstructionRecord(
+                OpClass.LOAD, dest=(i % 30) + 1, srcs=(1,),
+                pc=0x1000 + 4 * i, mem_addr=0x4000_0000 + 4096 * i,
+            )
+            for i in range(64)
+        ]
+        tight = run(loads, memory_queue_entries=4)
+        loose = run(loads, memory_queue_entries=64)
+        assert tight.total_cycles > loose.total_cycles
+
+    def test_mispredict_stalls_fetch(self):
+        # A mispredicted branch delays the fetch of following instructions.
+        branch = InstructionRecord(
+            OpClass.BRANCH, srcs=(1,), pc=0x2000, taken=True
+        )
+        after = alu(2, pc=0x3000)
+        schedule = run([alu(1), branch, after])
+        assert schedule.fetch[2] >= schedule.complete[1]
+
+
+class TestMaskingOutputs:
+    def test_unit_intervals_recorded(self):
+        trace = [alu(1), InstructionRecord(OpClass.FP_ADD, dest=40)]
+        schedule = run(trace)
+        assert len(schedule.unit_intervals["int"]) == 1
+        assert len(schedule.unit_intervals["fp"]) == 1
+        start, end = schedule.unit_intervals["fp"][0]
+        assert end - start == 5  # FP latency
+
+    def test_live_intervals_from_read(self):
+        # def r1, a long gap of unrelated work, read r1 much later:
+        # r1's value sits live in the register file across the gap.
+        padding = [alu(3 + i % 20, pc=0x1000 + 4 * i) for i in range(40)]
+        trace = [alu(1)] + padding + [alu(2, (1,))]
+        schedule = run(trace)
+        live_regs = [reg for reg, _s, _e in schedule.live_intervals]
+        assert 1 in live_regs
+
+    def test_dead_value_not_live(self):
+        # The first definition of r1 is overwritten without ever being
+        # read; only the second value (read after a gap) is live.
+        padding = [alu(3 + i % 20, pc=0x2000 + 4 * i) for i in range(40)]
+        trace = [alu(1), alu(1)] + padding + [alu(2, (1,))]
+        schedule = run(trace)
+        r1_intervals = [
+            (s, e) for reg, s, e in schedule.live_intervals if reg == 1
+        ]
+        assert len(r1_intervals) == 1
+
+
+class TestSimulateDriver:
+    def test_masks_cover_all_components(self):
+        trace = synthesize_trace(spec_benchmark("gzip"), 3000, seed=1)
+        result = simulate(trace, workload="gzip")
+        names = set(result.masking_trace.component_names)
+        assert {
+            "int_unit",
+            "fp_unit",
+            "ls_unit",
+            "br_unit",
+            "decode_unit",
+            "register_file",
+        } <= names
+
+    def test_masks_in_unit_range(self):
+        trace = synthesize_trace(spec_benchmark("swim"), 3000, seed=1)
+        result = simulate(trace)
+        for name in result.masking_trace.component_names:
+            mask = result.masking_trace.mask(name)
+            assert np.all((mask >= 0) & (mask <= 1))
+
+    def test_deterministic(self):
+        trace = synthesize_trace(spec_benchmark("art"), 2000, seed=9)
+        a = simulate(trace).stats.cycles
+        b = simulate(trace).stats.cycles
+        assert a == b
+
+    def test_fp_benchmark_uses_fp_unit(self):
+        trace = synthesize_trace(spec_benchmark("swim"), 5000, seed=1)
+        result = simulate(trace)
+        assert result.masking_trace.avf("fp_unit") > 0.1
+
+    def test_int_benchmark_leaves_fp_nearly_idle(self):
+        # Only the preamble's few global-register initialisations touch
+        # the FP unit in an integer benchmark.
+        trace = synthesize_trace(spec_benchmark("gzip"), 5000, seed=1)
+        result = simulate(trace)
+        assert result.masking_trace.avf("fp_unit") < 0.01
+
+    def test_ipc_positive_and_bounded(self):
+        trace = synthesize_trace(spec_benchmark("crafty"), 5000, seed=1)
+        result = simulate(trace)
+        assert 0.0 < result.ipc <= 8.0

@@ -1,0 +1,146 @@
+"""Tests for FailureProcess (exact MTTF, moments, sampling)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.reliability import FailureProcess
+from repro.reliability.hazard import (
+    NestedHazard,
+    PiecewiseHazard,
+    constant_hazard,
+)
+
+
+class TestExactMttf:
+    def test_constant_hazard_is_exponential(self):
+        lam = 0.37
+        p = FailureProcess(constant_hazard(lam, period=5.0))
+        assert p.mttf() == pytest.approx(1.0 / lam, rel=1e-12)
+        assert p.second_moment() == pytest.approx(2.0 / lam**2, rel=1e-10)
+        assert p.coefficient_of_variation() == pytest.approx(1.0, abs=1e-8)
+
+    def test_period_choice_does_not_matter_for_constant(self):
+        lam = 0.11
+        m1 = FailureProcess(constant_hazard(lam, period=1.0)).mttf()
+        m2 = FailureProcess(constant_hazard(lam, period=100.0)).mttf()
+        assert m1 == pytest.approx(m2, rel=1e-12)
+
+    def test_busy_idle_matches_paper_closed_form(self):
+        # E(X) = 1/λ + (L-A) e^{-λA}/(1-e^{-λA})  (Section 3.1.2).
+        lam, busy, period = 0.9, 2.0, 7.0
+        h = PiecewiseHazard([0.0, busy, period], [lam, 0.0])
+        expected = 1.0 / lam + (period - busy) * math.exp(-lam * busy) / (
+            -math.expm1(-lam * busy)
+        )
+        assert FailureProcess(h).mttf() == pytest.approx(expected, rel=1e-12)
+
+    def test_zero_mass_never_fails(self):
+        p = FailureProcess(constant_hazard(0.0, period=1.0))
+        assert math.isinf(p.mttf())
+        assert math.isinf(p.second_moment())
+
+    def test_avf_limit_for_small_hazard(self):
+        # λL → 0: MTTF → 1/(λ·AVF)  (Section 3.1.1).
+        lam, busy, period = 1e-9, 3.0, 10.0
+        h = PiecewiseHazard([0.0, busy, period], [lam, 0.0])
+        avf = busy / period
+        assert FailureProcess(h).mttf() == pytest.approx(
+            1.0 / (lam * avf), rel=1e-6
+        )
+
+    def test_mttf_monotone_in_rate(self):
+        period = 4.0
+        mttfs = [
+            FailureProcess(
+                PiecewiseHazard([0.0, 1.0, period], [lam, 0.0])
+            ).mttf()
+            for lam in (0.1, 0.5, 1.0, 5.0)
+        ]
+        assert all(a > b for a, b in zip(mttfs, mttfs[1:]))
+
+
+class TestMoments:
+    def test_cov_above_one_for_bursty_profile(self):
+        # Long idle phases make the TTF non-exponential; with a large
+        # hazard mass per busy phase the failure time concentrates near
+        # phase starts, inflating variability relative to the mean.
+        h = PiecewiseHazard([0.0, 1.0, 100.0], [5.0, 0.0])
+        cov = FailureProcess(h).coefficient_of_variation()
+        assert cov > 1.05
+
+    def test_cov_near_one_for_small_mass(self):
+        h = PiecewiseHazard([0.0, 1.0, 2.0], [1e-6, 0.0])
+        cov = FailureProcess(h).coefficient_of_variation()
+        assert cov == pytest.approx(1.0, abs=1e-3)
+
+    def test_variance_matches_sampling(self, rng):
+        h = PiecewiseHazard([0.0, 2.0, 5.0], [0.8, 0.1])
+        p = FailureProcess(h)
+        samples = p.sample(400_000, rng)
+        assert samples.var() == pytest.approx(p.variance(), rel=0.02)
+
+    def test_cov_undefined_when_never_failing(self):
+        p = FailureProcess(constant_hazard(0.0))
+        with pytest.raises(EstimationError):
+            p.coefficient_of_variation()
+
+
+class TestSurvivalAndQuantiles:
+    def test_survival_at_zero_is_one(self):
+        p = FailureProcess(constant_hazard(2.0))
+        assert float(p.survival(0.0)) == 1.0
+
+    def test_survival_exponential(self):
+        lam = 1.3
+        p = FailureProcess(constant_hazard(lam, period=2.0))
+        t = np.array([0.5, 1.0, 7.9])
+        np.testing.assert_allclose(p.survival(t), np.exp(-lam * t))
+
+    def test_quantile_inverts_survival(self):
+        h = PiecewiseHazard([0.0, 1.0, 3.0], [2.0, 0.2])
+        p = FailureProcess(h)
+        probs = np.array([0.1, 0.5, 0.9, 0.99])
+        t = p.quantile(probs)
+        np.testing.assert_allclose(1.0 - p.survival(t), probs, atol=1e-10)
+
+    def test_quantile_bounds_checked(self):
+        p = FailureProcess(constant_hazard(1.0))
+        with pytest.raises(EstimationError):
+            p.quantile(np.array([0.0]))
+
+    def test_never_failing_quantile_inf(self):
+        p = FailureProcess(constant_hazard(0.0))
+        assert np.isinf(p.quantile(np.array([0.5]))).all()
+
+
+class TestSampling:
+    def test_sample_mean_converges_to_exact(self, rng):
+        h = PiecewiseHazard([0.0, 2.0, 10.0], [0.7, 0.0])
+        p = FailureProcess(h)
+        samples = p.sample(500_000, rng)
+        assert samples.mean() == pytest.approx(p.mttf(), rel=0.01)
+
+    def test_samples_avoid_masked_intervals(self, rng):
+        # All failures must land inside the vulnerable interval [0, 1).
+        h = PiecewiseHazard([0.0, 1.0, 10.0], [1.0, 0.0])
+        samples = FailureProcess(h).sample(10_000, rng)
+        offsets = np.mod(samples, 10.0)
+        assert np.all(offsets <= 1.0 + 1e-9)
+
+    def test_nested_sampling_matches_exact(self, rng):
+        inner = PiecewiseHazard.from_segments([(0.5, 1.2), (0.5, 0.0)])
+        nested = NestedHazard([(4.0, inner), (4.0, 0.05)])
+        p = FailureProcess(nested)
+        samples = p.sample(300_000, rng)
+        assert samples.mean() == pytest.approx(p.mttf(), rel=0.02)
+
+    def test_sample_size_validated(self, rng):
+        with pytest.raises(EstimationError):
+            FailureProcess(constant_hazard(1.0)).sample(0, rng)
+
+    def test_zero_mass_samples_are_inf(self, rng):
+        p = FailureProcess(constant_hazard(0.0))
+        assert np.isinf(p.sample(10, rng)).all()

@@ -1,0 +1,163 @@
+"""Property-based tests for the hazard machinery (hypothesis).
+
+These pin the invariants everything else relies on: monotonicity of the
+cumulative hazard, exactness of inversion, agreement between the closed
+forms and quadrature, and the AVF limit theorem.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reliability.hazard import NestedHazard, PiecewiseHazard
+from repro.reliability.process import FailureProcess
+
+
+@st.composite
+def piecewise_hazards(draw, max_segments=6, max_rate=5.0):
+    n = draw(st.integers(min_value=1, max_value=max_segments))
+    durations = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=10.0),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    rates = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=max_rate),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return PiecewiseHazard.from_segments(list(zip(durations, rates)))
+
+
+@st.composite
+def nested_hazards(draw):
+    n = draw(st.integers(min_value=1, max_value=3))
+    segments = []
+    for _ in range(n):
+        duration = draw(st.floats(min_value=0.5, max_value=20.0))
+        inner = draw(piecewise_hazards(max_segments=3))
+        segments.append((duration, inner))
+    return NestedHazard(segments)
+
+
+class TestPiecewiseProperties:
+    @given(piecewise_hazards())
+    def test_cumulative_monotone(self, hazard):
+        taus = np.linspace(0, hazard.period, 53)
+        values = hazard.cumulative(taus)
+        assert np.all(np.diff(values) >= -1e-12)
+
+    @given(piecewise_hazards())
+    def test_cumulative_endpoints(self, hazard):
+        assert float(hazard.cumulative(0.0)) == 0.0
+        assert float(hazard.cumulative(hazard.period)) == pytest.approx(
+            hazard.mass, rel=1e-9, abs=1e-12
+        )
+
+    @given(piecewise_hazards(), st.floats(min_value=1e-6, max_value=1.0))
+    def test_inversion_round_trip(self, hazard, fraction):
+        if hazard.mass <= 0:
+            return
+        u = fraction * hazard.mass
+        tau = float(hazard.invert(u))
+        assert 0 <= tau <= hazard.period
+        assert float(hazard.cumulative(tau)) == pytest.approx(
+            u, rel=1e-9, abs=1e-12 * hazard.mass
+        )
+
+    @given(piecewise_hazards())
+    def test_survival_integral_bounds(self, hazard):
+        value = hazard.survival_integral(hazard.period)
+        assert 0 < value <= hazard.period * (1 + 1e-12)
+
+    @given(piecewise_hazards(), st.floats(min_value=0.1, max_value=0.9))
+    def test_partial_integral_monotone(self, hazard, fraction):
+        x = fraction * hazard.period
+        partial = hazard.survival_integral(x)
+        full = hazard.survival_integral(hazard.period)
+        assert partial <= full + 1e-12
+
+    @given(piecewise_hazards(), st.floats(min_value=0.1, max_value=8.0))
+    def test_scaling_scales_mass(self, hazard, factor):
+        assert hazard.scaled(factor).mass == pytest.approx(
+            hazard.mass * factor, rel=1e-12
+        )
+
+    @given(piecewise_hazards(), st.integers(min_value=2, max_value=4))
+    def test_tiling_preserves_mttf(self, hazard, n):
+        # An n-fold tiled hazard describes the same cyclic process, so
+        # the first-failure time distribution must be identical.
+        if hazard.mass <= 0:
+            return
+        original = FailureProcess(hazard).mttf()
+        tiled = FailureProcess(hazard.tiled(n)).mttf()
+        assert tiled == pytest.approx(original, rel=1e-9)
+
+
+class TestNestedProperties:
+    @settings(max_examples=30)
+    @given(nested_hazards())
+    def test_cumulative_monotone(self, hazard):
+        taus = np.linspace(0, hazard.period, 41)
+        values = hazard.cumulative(taus)
+        assert np.all(np.diff(values) >= -1e-9)
+
+    @settings(max_examples=30)
+    @given(nested_hazards(), st.floats(min_value=1e-6, max_value=1.0))
+    def test_inversion_round_trip(self, hazard, fraction):
+        # Subnormal masses (< ~1e-300) carry only a few bits of
+        # precision; the library clamps them safely but round-trip
+        # accuracy is physically meaningless there.
+        if hazard.mass <= 1e-300:
+            return
+        u = fraction * hazard.mass
+        tau = float(hazard.invert(u))
+        assert 0 <= tau <= hazard.period * (1 + 1e-9)
+        assert float(hazard.cumulative(min(tau, hazard.period))) == (
+            pytest.approx(u, rel=1e-7, abs=1e-9 * hazard.mass)
+        )
+
+    @settings(max_examples=20)
+    @given(nested_hazards())
+    def test_survival_integral_bounds(self, hazard):
+        value = hazard.survival_integral(hazard.period)
+        assert 0 < value <= hazard.period * (1 + 1e-9)
+
+
+class TestProcessProperties:
+    @given(piecewise_hazards())
+    def test_mttf_positive(self, hazard):
+        mttf = FailureProcess(hazard).mttf()
+        assert mttf > 0
+
+    @given(piecewise_hazards(), st.floats(min_value=1.5, max_value=10.0))
+    def test_mttf_decreases_with_rate(self, hazard, factor):
+        if hazard.mass <= 0:
+            return
+        base = FailureProcess(hazard).mttf()
+        scaled = FailureProcess(hazard.scaled(factor)).mttf()
+        assert scaled < base * (1 + 1e-9)
+
+    @given(piecewise_hazards())
+    def test_avf_limit(self, hazard):
+        # Scale the hazard down until λ·L is tiny: the exact MTTF must
+        # converge to the AVF-step value 1/(rate·AVF) (Section 3.1.1).
+        if hazard.mass <= 0:
+            return
+        tiny = hazard.scaled(1e-9 / hazard.mass)
+        exact = FailureProcess(tiny).mttf()
+        avf_mttf = tiny.period / tiny.mass
+        assert exact == pytest.approx(avf_mttf, rel=1e-6)
+
+    @given(piecewise_hazards())
+    def test_variance_non_negative(self, hazard):
+        if hazard.mass <= 0:
+            return
+        assert FailureProcess(hazard).variance() >= -1e-6

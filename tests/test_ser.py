@@ -1,0 +1,115 @@
+"""Tests for the raw soft-error-rate models (repro.ser)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ser import (
+    ComponentErrorModel,
+    PAPER_UNIT_RATES_PER_YEAR,
+    component_rate_per_second,
+    paper_unit_rate_per_second,
+)
+from repro.ser.environment import (
+    ENVIRONMENTS,
+    TABLE2_COMPONENT_COUNTS,
+    TABLE2_ELEMENT_COUNTS,
+    TABLE2_SCALING_FACTORS,
+    environment,
+)
+from repro.ser.rates import cache_bits
+from repro.units import SECONDS_PER_YEAR
+
+
+class TestPaperUnitRates:
+    def test_all_four_components_present(self):
+        assert set(PAPER_UNIT_RATES_PER_YEAR) == {
+            "int_unit",
+            "fp_unit",
+            "decode_unit",
+            "register_file",
+        }
+
+    def test_register_file_dominates(self):
+        # The 256-entry register file is the most error-prone component
+        # (1e-4 vs ~1e-6 errors/year).
+        rf = PAPER_UNIT_RATES_PER_YEAR["register_file"]
+        assert all(
+            rf > rate
+            for name, rate in PAPER_UNIT_RATES_PER_YEAR.items()
+            if name != "register_file"
+        )
+
+    def test_per_second_conversion(self):
+        per_sec = paper_unit_rate_per_second("int_unit")
+        assert per_sec * SECONDS_PER_YEAR == pytest.approx(2.3e-6)
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(ConfigurationError):
+            paper_unit_rate_per_second("alu")
+
+
+class TestNTimesS:
+    def test_rate_formula(self):
+        # N=1e9 bits at S=1: 10 errors/year (the paper's big-cache example).
+        rate = component_rate_per_second(1e9, 1.0)
+        assert rate * SECONDS_PER_YEAR == pytest.approx(10.0)
+
+    def test_scaling_multiplies(self):
+        assert component_rate_per_second(1e6, 5.0) == pytest.approx(
+            5 * component_rate_per_second(1e6, 1.0)
+        )
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            component_rate_per_second(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            component_rate_per_second(1e6, 0.0)
+        with pytest.raises(ConfigurationError):
+            component_rate_per_second(1e6, 1.0, baseline_per_year=0.0)
+
+
+class TestComponentErrorModel:
+    def test_n_times_s(self):
+        model = ComponentErrorModel("cache", 1e8, scaling=100.0)
+        assert model.n_times_s == pytest.approx(1e10)
+
+    def test_rate_per_year(self):
+        model = ComponentErrorModel("cache", 1e8, scaling=2.0)
+        assert model.rate_per_year == pytest.approx(2.0)
+
+    def test_validation_on_construction(self):
+        with pytest.raises(ConfigurationError):
+            ComponentErrorModel("bad", -1.0)
+
+    def test_str_mentions_name(self):
+        assert "cache" in str(ComponentErrorModel("cache", 1e6))
+
+
+class TestCacheBits:
+    def test_100mb_cache(self):
+        # Figure 3's 100MB cache: 8.389e8 bits -> ~8.4 errors/year,
+        # the paper's "10 errors/year" after rounding.
+        bits = cache_bits(100.0)
+        assert bits == pytest.approx(8.389e8, rel=1e-3)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            cache_bits(0.0)
+
+
+class TestEnvironments:
+    def test_table2_factors_covered(self):
+        scalings = sorted(env.scaling for env in ENVIRONMENTS.values())
+        assert scalings == sorted(TABLE2_SCALING_FACTORS)
+
+    def test_lookup(self):
+        assert environment("space").scaling == pytest.approx(2000.0)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            environment("underwater")
+
+    def test_table2_dimensions(self):
+        assert len(TABLE2_ELEMENT_COUNTS) == 5
+        assert len(TABLE2_COMPONENT_COUNTS) == 5
+        assert max(TABLE2_COMPONENT_COUNTS) == 500000

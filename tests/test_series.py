@@ -1,0 +1,113 @@
+"""Tests for series systems (repro.reliability.series)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reliability import SeriesSystem, sofr_mttf
+from repro.reliability.hazard import PiecewiseHazard, constant_hazard
+from repro.reliability.series import min_of_iid_mttf
+
+
+class TestSofrFormula:
+    def test_two_identical_components(self):
+        assert sofr_mttf([10.0, 10.0]) == pytest.approx(5.0)
+
+    def test_heterogeneous(self):
+        # rates 1/2 + 1/6 = 2/3 -> MTTF 1.5
+        assert sofr_mttf([2.0, 6.0]) == pytest.approx(1.5)
+
+    def test_infinite_components_ignored(self):
+        assert sofr_mttf([math.inf, 4.0]) == pytest.approx(4.0)
+
+    def test_all_infinite(self):
+        assert math.isinf(sofr_mttf([math.inf, math.inf]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            sofr_mttf([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            sofr_mttf([0.0])
+
+
+class TestSeriesSystem:
+    def test_exponential_components_sofr_exact(self):
+        # For truly exponential components SOFR is exact: this is the
+        # regime where the paper's Section 3.2.1 limit applies.
+        lam1, lam2 = 0.3, 0.7
+        sys_ = SeriesSystem(
+            [constant_hazard(lam1, 2.0), constant_hazard(lam2, 2.0)]
+        )
+        assert sys_.mttf() == pytest.approx(1.0 / (lam1 + lam2), rel=1e-10)
+
+    def test_multiplicity_equals_enumeration(self):
+        h = PiecewiseHazard([0.0, 1.0, 3.0], [0.5, 0.0])
+        multi = SeriesSystem([h], multiplicities=[4])
+        enumerated = SeriesSystem([h, h, h, h])
+        assert multi.mttf() == pytest.approx(enumerated.mttf(), rel=1e-10)
+
+    def test_system_mttf_below_component_mttf(self):
+        h = PiecewiseHazard([0.0, 2.0, 4.0], [0.9, 0.1])
+        single = SeriesSystem([h]).mttf()
+        system = SeriesSystem([h], multiplicities=[10]).mttf()
+        assert system < single
+
+    def test_component_processes(self):
+        h1 = constant_hazard(1.0, 1.0)
+        h2 = constant_hazard(2.0, 1.0)
+        procs = SeriesSystem([h1, h2]).component_processes()
+        assert procs[0].mttf() == pytest.approx(1.0)
+        assert procs[1].mttf() == pytest.approx(0.5)
+
+    def test_component_count(self):
+        sys_ = SeriesSystem(
+            [constant_hazard(1.0, 1.0), constant_hazard(1.0, 1.0)],
+            multiplicities=[3, 5],
+        )
+        assert sys_.component_count == 8
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            SeriesSystem([])
+
+    def test_rejects_bad_multiplicity(self):
+        with pytest.raises(ConfigurationError):
+            SeriesSystem([constant_hazard(1.0, 1.0)], multiplicities=[0])
+
+    def test_rejects_mismatched_multiplicities(self):
+        with pytest.raises(ConfigurationError):
+            SeriesSystem([constant_hazard(1.0, 1.0)], multiplicities=[1, 2])
+
+
+class TestMinOfIid:
+    def test_exponential_min(self):
+        # min of n Exp(lam) is Exp(n*lam): SOFR is exact here.
+        lam = 0.8
+
+        def survival(t):
+            return np.exp(-lam * np.asarray(t))
+
+        for n in (1, 2, 5):
+            assert min_of_iid_mttf(survival, n) == pytest.approx(
+                1.0 / (n * lam), rel=1e-8
+            )
+
+    def test_halfnormal_matches_figure4_direction(self):
+        # For the Section 3.2.2 density SOFR *underestimates* the MTTF.
+        from scipy.special import erfc
+
+        def survival(t):
+            return erfc(np.asarray(t))
+
+        exact2 = min_of_iid_mttf(survival, 2)
+        sofr2 = 1.0 / (2 * math.sqrt(math.pi))
+        assert sofr2 < exact2
+        assert (exact2 - sofr2) / exact2 == pytest.approx(0.146, abs=0.01)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ConfigurationError):
+            min_of_iid_mttf(lambda t: np.exp(-t), 0)

@@ -1,0 +1,121 @@
+"""Tests for workload phase analysis (repro.workloads.phases)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.workloads import (
+    detect_phases,
+    longest_phase,
+    phase_summary,
+    spec_benchmark,
+    synthesize_trace,
+    windowed_utilization,
+)
+from repro.microarch import simulate
+
+
+class TestWindowedUtilization:
+    def test_means_per_window(self):
+        mask = np.array([1, 1, 0, 0, 1, 0])
+        np.testing.assert_allclose(
+            windowed_utilization(mask, 2), [1.0, 0.0, 0.5]
+        )
+
+    def test_partial_window_dropped(self):
+        mask = np.array([1, 1, 1, 0, 0])
+        np.testing.assert_allclose(
+            windowed_utilization(mask, 2), [1.0, 0.5]
+        )
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            windowed_utilization(np.array([]), 2)
+        with pytest.raises(TraceError):
+            windowed_utilization(np.ones(4), 0)
+        with pytest.raises(TraceError):
+            windowed_utilization(np.ones(3), 10)
+
+
+class TestDetectPhases:
+    def test_two_level_signal(self):
+        signal = np.concatenate([np.full(50, 0.9), np.full(30, 0.1)])
+        phases = detect_phases(signal, threshold=0.2)
+        assert len(phases) == 2
+        assert phases[0].length == 50
+        assert phases[0].level == pytest.approx(0.9)
+        assert phases[1].level == pytest.approx(0.1)
+
+    def test_flat_signal_single_phase(self):
+        phases = detect_phases(np.full(100, 0.4))
+        assert len(phases) == 1
+        assert phases[0].length == 100
+
+    def test_noise_below_threshold_ignored(self):
+        rng = np.random.default_rng(0)
+        signal = 0.5 + 0.01 * rng.standard_normal(200)
+        assert len(detect_phases(signal, threshold=0.1)) == 1
+
+    def test_min_length_respected(self):
+        signal = np.array([0.9, 0.1, 0.9, 0.1] * 10)
+        phases = detect_phases(signal, threshold=0.2, min_length=8)
+        for phase in phases[:-1]:
+            assert phase.length >= 8
+
+    def test_phases_partition_signal(self):
+        signal = np.concatenate(
+            [np.full(20, 0.8), np.full(40, 0.2), np.full(10, 0.9)]
+        )
+        phases = detect_phases(signal, threshold=0.2)
+        assert phases[0].start == 0
+        assert phases[-1].end == signal.size
+        for a, b in zip(phases, phases[1:]):
+            assert a.end == b.start
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            detect_phases(np.array([]))
+        with pytest.raises(TraceError):
+            detect_phases(np.ones(5), threshold=0.0)
+        with pytest.raises(TraceError):
+            detect_phases(np.ones(5), min_length=0)
+
+
+class TestLongestPhase:
+    def test_selects_longest(self):
+        signal = np.concatenate([np.full(10, 0.9), np.full(50, 0.1)])
+        phases = detect_phases(signal, threshold=0.3)
+        assert longest_phase(phases).level == pytest.approx(0.1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            longest_phase([])
+
+
+class TestPhaseSummary:
+    def test_structured_mask(self):
+        mask = np.concatenate([np.ones(4000), np.zeros(4000)])
+        summary = phase_summary(mask, window=200)
+        assert summary.has_phase_structure
+        assert summary.longest_phase_cycles == pytest.approx(4000, abs=400)
+        assert summary.mean_level == pytest.approx(0.5)
+
+    def test_flat_mask_no_structure(self):
+        summary = phase_summary(np.full(2000, 0.3), window=100)
+        assert not summary.has_phase_structure
+        assert summary.n_phases == 1
+
+    def test_phased_benchmark_shows_structure(self):
+        # `art` is configured with strong phase modulation; its memory
+        # behaviour shifts between phases and the decode/LS utilisation
+        # follows.
+        profile = spec_benchmark("art")
+        assert profile.phase_length > 0
+        trace = synthesize_trace(profile, 24_000, seed=2)
+        result = simulate(trace, workload="art")
+        summary = phase_summary(
+            result.masking_trace.mask("ls_unit"),
+            window=max(result.masking_trace.n_cycles // 60, 1),
+            threshold=0.05,
+        )
+        assert summary.n_phases >= 2

@@ -1,0 +1,75 @@
+"""Smoke coverage of every SPEC benchmark profile through the pipeline.
+
+The paper simulates all 21 benchmarks; this suite synthesizes and
+simulates a short window of each, asserting the statistics every
+experiment depends on are sane and suitably diverse.
+"""
+
+import numpy as np
+import pytest
+
+from repro.microarch import MachineConfig, simulate
+from repro.workloads import (
+    SPEC_FP_NAMES,
+    SPEC_INT_NAMES,
+    spec_benchmark,
+    synthesize_trace,
+)
+
+WINDOW = 4_000
+
+
+@pytest.fixture(scope="module")
+def all_results():
+    config = MachineConfig.power4_like()
+    results = {}
+    for name in (*SPEC_INT_NAMES, *SPEC_FP_NAMES):
+        trace = synthesize_trace(spec_benchmark(name), WINDOW, seed=1)
+        results[name] = simulate(trace, config, workload=name)
+    return results
+
+
+class TestAllBenchmarks:
+    def test_all_21_simulate(self, all_results):
+        assert len(all_results) == 21
+
+    def test_ipc_sane_everywhere(self, all_results):
+        for name, result in all_results.items():
+            assert 0.05 < result.ipc < 8.0, name
+
+    def test_masks_well_formed(self, all_results):
+        for name, result in all_results.items():
+            for comp in result.masking_trace.component_names:
+                mask = result.masking_trace.mask(comp)
+                assert mask.size == result.masking_trace.n_cycles
+                assert np.all((mask >= 0) & (mask <= 1)), (name, comp)
+
+    def test_fp_benchmarks_exercise_fp_unit(self, all_results):
+        for name in SPEC_FP_NAMES:
+            avf = all_results[name].masking_trace.avf("fp_unit")
+            assert avf > 0.02, name
+
+    def test_int_benchmarks_skip_fp_unit(self, all_results):
+        for name in SPEC_INT_NAMES:
+            avf = all_results[name].masking_trace.avf("fp_unit")
+            assert avf < 0.02, name
+
+    def test_register_file_liveness_positive(self, all_results):
+        for name, result in all_results.items():
+            assert result.masking_trace.avf("register_file") > 0.005, name
+
+    def test_utilisation_diversity(self, all_results):
+        # The AVF/SOFR experiments rely on benchmarks differing: the
+        # spread of int-unit AVFs across the suite must be substantial.
+        int_avfs = [
+            r.masking_trace.avf("int_unit") for r in all_results.values()
+        ]
+        assert max(int_avfs) > 2.5 * min(int_avfs)
+
+    def test_memory_behaviour_diversity(self, all_results):
+        mcf = all_results["mcf"].stats
+        swim = all_results["swim"].stats
+        mcf_rate = mcf.l1d_misses / max(mcf.loads + mcf.stores, 1)
+        swim_rate = swim.l1d_misses / max(swim.loads + swim.stores, 1)
+        # Pointer-chasing mcf misses far more than prefetched swim.
+        assert mcf_rate > 2 * swim_rate
