@@ -2,24 +2,24 @@
 
 A cluster of identical servers runs a diurnal workload (busy by day,
 idle by night — the paper's `day` pattern). Each node's 12.5MB of
-vulnerable state sees ~1 raw soft error per year. The standard
-methodology (component MTTFs summed by SOFR) and the true first-failure
-behaviour diverge dramatically as the cluster grows — and the
-exponentiality diagnostics show exactly why: the masked time to failure
-stops being exponential.
+vulnerable state sees ~1 raw soft error per year. The whole cluster-size
+sweep is one ``evaluate_design_space`` call: the batch engine memoizes
+the node-level Monte-Carlo MTTF (the SOFR step re-uses it at every
+cluster size) and compares SOFR against the exact first-failure
+behaviour and Monte Carlo at each point. The exponentiality diagnostics
+then show exactly why SOFR breaks: the masked time to failure stops
+being exponential.
 
 Run:  python examples/datacenter_cluster.py
 """
 
 from repro import (
     Component,
+    ComponentCache,
     MonteCarloConfig,
     SystemModel,
-    first_principles_mttf,
-    monte_carlo_mttf,
-    sofr_mttf_from_values,
+    evaluate_design_space,
 )
-from repro.core import monte_carlo_component_mttf
 from repro.core.montecarlo import sample_system_ttf
 from repro.reliability import FailureProcess, exponentiality_report
 from repro.units import SECONDS_PER_DAY
@@ -28,16 +28,33 @@ from repro.workloads import day_workload
 #: N = 1e8 bits/node at the 1e-8 errors/year/bit baseline = 1/year.
 RATE_PER_SECOND = 1.0 / (365.25 * 86400)
 
+CLUSTER_SIZES = (8, 500, 5_000, 50_000, 500_000)
+
+
+def cluster(profile, size: int) -> SystemModel:
+    return SystemModel(
+        [Component("node", RATE_PER_SECOND, profile, multiplicity=size)]
+    )
+
 
 def main() -> None:
     profile = day_workload()
-    node = Component("node", RATE_PER_SECOND, profile)
-    node_mttf = monte_carlo_component_mttf(
-        node, MonteCarloConfig(trials=100_000, seed=1)
+    cache = ComponentCache()
+    space = [
+        (f"{size} nodes", cluster(profile, size))
+        for size in CLUSTER_SIZES
+    ]
+    results = evaluate_design_space(
+        space,
+        methods=["sofr_only", "first_principles"],
+        reference="monte_carlo",
+        mc_config=MonteCarloConfig(trials=100_000, seed=2),
+        cache=cache,
     )
     print(
-        f"single node: raw rate 1/year, AVF {profile.avf:.2f}, "
-        f"MC MTTF {node_mttf.mttf_seconds / SECONDS_PER_DAY:.0f} days"
+        f"single node: raw rate 1/year, AVF {profile.avf:.2f} "
+        f"(node MTTF memoized: {cache.misses} Monte-Carlo run for "
+        f"{len(CLUSTER_SIZES)} cluster sizes)"
     )
     print()
     header = (
@@ -46,30 +63,16 @@ def main() -> None:
     )
     print(header)
     print("-" * len(header))
-    for cluster_size in (8, 500, 5_000, 50_000, 500_000):
-        system = SystemModel(
-            [
-                Component(
-                    "node",
-                    RATE_PER_SECOND,
-                    profile,
-                    multiplicity=cluster_size,
-                )
-            ]
-        )
-        sofr = sofr_mttf_from_values(
-            [node_mttf.mttf_seconds], [cluster_size]
-        ).mttf_seconds
-        exact = first_principles_mttf(system).mttf_seconds
-        monte = monte_carlo_mttf(
-            system, MonteCarloConfig(trials=100_000, seed=2)
-        ).mttf_seconds
+    for size, comparison in zip(CLUSTER_SIZES, results):
+        sofr = comparison.estimates["sofr_only"].mttf_seconds
+        exact = comparison.estimates["first_principles"].mttf_seconds
+        monte = comparison.reference.mttf_seconds
         cov = FailureProcess(
-            system.combined_intensity()
+            cluster(profile, size).combined_intensity()
         ).coefficient_of_variation()
         error = (sofr - exact) / exact
         print(
-            f"{cluster_size:>8d} {sofr / 3600:>10.2f} {exact / 3600:>10.2f} "
+            f"{size:>8d} {sofr / 3600:>10.2f} {exact / 3600:>10.2f} "
             f"{monte / 3600:>10.2f} {error:>+11.1%} {cov:>8.2f}"
         )
     print()
@@ -79,9 +82,7 @@ def main() -> None:
     # the MTTF spans a few day/night cycles (here ~2000 nodes); at
     # extreme scale failures collapse into the first busy morning and
     # the distribution degenerates again.
-    system = SystemModel(
-        [Component("node", RATE_PER_SECOND, profile, multiplicity=2_000)]
-    )
+    system = cluster(profile, 2_000)
     samples = sample_system_ttf(
         system, MonteCarloConfig(trials=50_000, seed=3)
     )

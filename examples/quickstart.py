@@ -2,8 +2,10 @@
 
 Models the paper's motivating scenario in a few lines: a component that
 is busy half of every 24-hour cycle, evaluated with the standard
-AVF+SOFR methodology and with first principles, at a terrestrial and an
-accelerated raw error rate.
+AVF+SOFR methodology, Monte Carlo, and first principles — all through
+the unified ``repro.analyze`` facade. Every method name below is a key
+in the estimator registry (``repro.methods.available()``); plug in your
+own with ``repro.register_method``.
 
 Run:  python examples/quickstart.py
 """
@@ -12,11 +14,9 @@ from repro import (
     Component,
     MonteCarloConfig,
     SystemModel,
-    avf_sofr_mttf,
+    analyze,
     busy_idle_profile,
     days,
-    first_principles_mttf,
-    monte_carlo_mttf,
     validity_report,
 )
 
@@ -26,20 +26,20 @@ def evaluate(label: str, rate_per_second: float) -> None:
     system = SystemModel(
         [Component("server", rate_per_second, profile)]
     )
-    standard = avf_sofr_mttf(system)
-    exact = first_principles_mttf(system)
-    monte = monte_carlo_mttf(
-        system, MonteCarloConfig(trials=100_000, seed=42)
+    result = (
+        analyze(system, label=label)
+        .using("avf_sofr", "monte_carlo")
+        .against("exact")
+        .with_mc(MonteCarloConfig(trials=100_000, seed=42))
+        .run()
     )
-    error = (
-        standard.mttf_seconds - exact.mttf_seconds
-    ) / exact.mttf_seconds
+    comparison = result[0]
 
     print(f"=== {label} ===")
-    print(f"AVF+SOFR:         {standard}")
-    print(f"first principles: {exact}")
-    print(f"Monte Carlo:      {monte}")
-    print(f"AVF+SOFR error vs exact: {error:+.2%}")
+    print(f"AVF+SOFR:         {comparison.estimates['avf_sofr']}")
+    print(f"first principles: {comparison.reference}")
+    print(f"Monte Carlo:      {comparison.estimates['monte_carlo']}")
+    print(f"AVF+SOFR error vs exact: {comparison.error('avf_sofr'):+.2%}")
     print(validity_report(system).summary())
     print()
 

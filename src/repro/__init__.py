@@ -13,12 +13,14 @@ complete toolchain:
   models (:mod:`repro.ser`);
 * every MTTF method the paper studies (:mod:`repro.core`): the AVF step,
   the SOFR step, Monte-Carlo simulation, exact first-principles closed
-  forms, and SoftArch;
+  forms, and SoftArch — all behind one pluggable estimator registry
+  (:mod:`repro.methods`);
 * the Section-3 analytical models (:mod:`repro.analytical`) and the
   experiment harness regenerating every table and figure
   (:mod:`repro.harness`).
 
-Quickstart::
+Quickstart — compare any registered methods on a system with the
+``analyze`` facade::
 
     import repro
 
@@ -27,9 +29,33 @@ Quickstart::
     component = repro.Component("cache", rate_per_second=1e-7,
                                 profile=profile)
     system = repro.SystemModel([component])
-    print(repro.avf_sofr_mttf(system))          # the standard method
-    print(repro.first_principles_mttf(system))  # the exact answer
+
+    result = (
+        repro.analyze(system, label="cache")
+        .using("avf_sofr", "hybrid")     # any repro.methods.available()
+        .against("exact")                # or "monte_carlo" (the paper)
+        .run()
+    )
+    print(result[0].error("avf_sofr"))   # signed relative error
+    print(result.to_json())              # serializable artifact
     print(repro.validity_report(system).summary())
+
+Many systems at once — with per-component memoization and optional
+thread fan-out — go through the batch engine::
+
+    clusters = [
+        (f"C={c}", repro.SystemModel(
+            [repro.Component("node", 1e-7, profile, multiplicity=c)]))
+        for c in (8, 5000, 50000)
+    ]
+    results = repro.evaluate_design_space(
+        clusters, methods=["sofr_only", "hybrid"], workers=4)
+
+New estimation methods plug in with
+:func:`repro.methods.register_method` and are immediately usable from
+``analyze``, ``evaluate_design_space``, ``compare_methods`` and the
+``repro-experiments`` CLI. The pre-registry free functions
+(``avf_sofr_mttf``, ``monte_carlo_mttf``, ...) remain available.
 """
 
 from .core import (
@@ -52,6 +78,16 @@ from .core import (
     sofr_mttf_from_components,
     sofr_mttf_from_values,
     validity_report,
+)
+from . import methods
+from .methods import (
+    Analysis,
+    ComponentCache,
+    MethodConfig,
+    ResultSet,
+    analyze,
+    evaluate_design_space,
+    register_method,
 )
 from .masking import (
     MaskingTrace,
@@ -76,8 +112,16 @@ from .units import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "Analysis",
+    "ComponentCache",
     "Component",
     "MethodComparison",
+    "MethodConfig",
+    "ResultSet",
+    "analyze",
+    "evaluate_design_space",
+    "methods",
+    "register_method",
     "MonteCarloConfig",
     "PAPER_TRIAL_COUNT",
     "Regime",

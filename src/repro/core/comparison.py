@@ -5,23 +5,23 @@ estimation method against the Monte-Carlo (or, equivalently, exact
 first-principles) MTTF. :func:`compare_methods` runs the requested
 methods on one system and returns a :class:`MethodComparison` with the
 errors, ready for the experiment tables.
+
+Since the estimator registry (:mod:`repro.methods`) became the single
+call surface, :func:`compare_methods` is a thin back-compat shim over
+``repro.analyze``; the numbers are identical to the original free-function
+pipeline because the registry adapters delegate to the same functions
+with the same seeds and trial counts.
 """
 
 from __future__ import annotations
 
+import json
 import math
 from dataclasses import dataclass, field
 
 from ..reliability.metrics import MTTFEstimate, signed_relative_error
 from .avf import avf_mttf
-from .firstprinciples import exact_component_mttf, first_principles_mttf
-from .montecarlo import (
-    MonteCarloConfig,
-    monte_carlo_component_mttf,
-    monte_carlo_mttf,
-)
-from .softarch import softarch_mttf
-from .sofr import avf_sofr_mttf, sofr_mttf_from_components
+from .montecarlo import MonteCarloConfig
 from .system import SystemModel
 
 
@@ -53,6 +53,35 @@ class MethodComparison:
     def method_names(self) -> list[str]:
         return list(self.estimates.keys())
 
+    def to_dict(self) -> dict:
+        """Plain-dict form for JSON serialization (lossless)."""
+        return {
+            "system_label": self.system_label,
+            "reference": self.reference.to_dict(),
+            "estimates": {
+                name: est.to_dict() for name, est in self.estimates.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MethodComparison":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            system_label=str(data["system_label"]),
+            reference=MTTFEstimate.from_dict(data["reference"]),
+            estimates={
+                name: MTTFEstimate.from_dict(est)
+                for name, est in data["estimates"].items()
+            },
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "MethodComparison":
+        return cls.from_dict(json.loads(text))
+
 
 def compare_methods(
     system: SystemModel,
@@ -61,7 +90,12 @@ def compare_methods(
     reference: str = "monte_carlo",
     include_softarch: bool = False,
 ) -> MethodComparison:
-    """Run AVF+SOFR, SOFR-with-MC-components, and the reference methods.
+    """Run AVF+SOFR, SOFR-with-reference-components, and the reference.
+
+    Back-compat shim over ``repro.analyze``; see
+    :mod:`repro.methods.facade` for the fluent form and
+    :func:`repro.methods.batch.evaluate_design_space` for many systems
+    at once.
 
     Parameters
     ----------
@@ -77,36 +111,20 @@ def compare_methods(
     include_softarch:
         Also run the SoftArch method (Section 5.4).
     """
-    mc_config = mc_config or MonteCarloConfig()
-    exact = first_principles_mttf(system)
-    if reference == "exact":
-        ref = exact
-    elif reference == "monte_carlo":
-        ref = monte_carlo_mttf(system, mc_config)
-    else:
+    if reference not in ("monte_carlo", "exact"):
         raise ValueError(f"unknown reference {reference!r}")
+    # Imported lazily: repro.methods builds on this module.
+    from ..methods import analyze
 
-    estimates: dict[str, MTTFEstimate] = {}
-    estimates["avf_sofr"] = avf_sofr_mttf(system)
-    # SOFR step alone: component MTTFs from the reference method, so any
-    # error is attributable purely to the SOFR combination (Section 4.2).
-    if reference == "exact":
-        estimates["sofr_only"] = sofr_mttf_from_components(
-            system,
-            lambda c: exact_component_mttf(c.rate_per_second, c.profile),
-        )
-    else:
-        estimates["sofr_only"] = sofr_mttf_from_components(
-            system,
-            lambda c: monte_carlo_component_mttf(
-                c, mc_config
-            ).mttf_seconds,
-        )
-    estimates["first_principles"] = exact
+    methods = ["avf_sofr", "sofr_only", "first_principles"]
     if include_softarch:
-        estimates["softarch"] = softarch_mttf(system)
-    return MethodComparison(
-        system_label=label, reference=ref, estimates=estimates
+        methods.append("softarch")
+    return (
+        analyze(system, label=label)
+        .using(*methods)
+        .against(reference)
+        .with_mc(mc_config)
+        .comparison()
     )
 
 

@@ -10,7 +10,11 @@ The paper explores systems parameterised by
 
 and reports, for each point, the relative error of the AVF and/or SOFR
 step against Monte Carlo. This module enumerates those points and runs
-the methods, producing tidy row records the benchmark harness renders.
+the methods through the batch engine
+(:func:`repro.methods.batch.evaluate_design_space`), which memoizes
+per-component MTTFs across grid points — the SOFR sweeps re-use one
+Monte-Carlo component estimate for every value of C — and can fan out
+over a thread pool (``workers=N``).
 """
 
 from __future__ import annotations
@@ -23,15 +27,7 @@ from ..errors import DesignSpaceError
 from ..masking.profile import VulnerabilityProfile
 from ..reliability.metrics import signed_relative_error
 from ..ser.rates import component_rate_per_second
-from .avf import avf_mttf
-from .firstprinciples import exact_component_mttf, first_principles_mttf
-from .montecarlo import (
-    MonteCarloConfig,
-    monte_carlo_component_mttf,
-    monte_carlo_mttf,
-)
-from .softarch import softarch_component_mttf, softarch_mttf
-from .sofr import sofr_mttf_from_values
+from .montecarlo import MonteCarloConfig
 from .system import Component, SystemModel
 
 
@@ -63,6 +59,13 @@ class DesignPoint:
     @property
     def rate_per_second(self) -> float:
         return component_rate_per_second(self.n_elements, self.scaling)
+
+    @property
+    def label(self) -> str:
+        """Human-readable grid-point label for tables and ResultSets."""
+        return (
+            f"{self.workload}/NxS={self.n_times_s:g}/C={self.components}"
+        )
 
 
 @dataclass(frozen=True)
@@ -103,42 +106,66 @@ class SweepResult:
         return self._error(self.softarch_mttf)
 
 
+def _mttf_or_none(comparison, method: str) -> float | None:
+    est = comparison.estimates.get(method)
+    return None if est is None else est.mttf_seconds
+
+
 def component_sweep(
     workloads: Mapping[str, VulnerabilityProfile],
     n_times_s_values: Iterable[float],
     mc_config: MonteCarloConfig | None = None,
     include_softarch: bool = False,
+    workers: int = 1,
+    cache=None,
 ) -> list[SweepResult]:
     """AVF-step sweep: single component (C = 1), as in Figure 5 / §5.2.
 
     Since only the product ``N x S`` matters for a single component
     (Section 5.2), points are parameterised by it directly.
     """
-    mc_config = mc_config or MonteCarloConfig()
-    results = []
+    from ..methods import evaluate_design_space
+
+    methods = ["avf", "first_principles"]
+    if include_softarch:
+        methods.append("softarch")
+    points: list[DesignPoint] = []
+    space: list[tuple[str, SystemModel]] = []
     for name, profile in workloads.items():
         for n_times_s in n_times_s_values:
             point = DesignPoint(
                 workload=name, n_elements=n_times_s, scaling=1.0
             )
-            rate = point.rate_per_second
-            component = Component(name, rate, profile)
-            mc = monte_carlo_component_mttf(component, mc_config)
-            results.append(
-                SweepResult(
-                    point=point,
-                    monte_carlo_mttf=mc.mttf_seconds,
-                    monte_carlo_stderr=mc.std_error_seconds,
-                    avf_mttf=avf_mttf(rate, profile),
-                    first_principles_mttf=exact_component_mttf(rate, profile),
-                    softarch_mttf=(
-                        softarch_component_mttf(rate, profile)
-                        if include_softarch
-                        else None
+            points.append(point)
+            space.append(
+                (
+                    point.label,
+                    SystemModel(
+                        [Component(name, point.rate_per_second, profile)]
                     ),
                 )
             )
-    return results
+    result_set = evaluate_design_space(
+        space,
+        methods=methods,
+        reference="monte_carlo",
+        mc_config=mc_config or MonteCarloConfig(),
+        workers=workers,
+        cache=cache,
+    )
+    return [
+        SweepResult(
+            point=point,
+            monte_carlo_mttf=comparison.reference.mttf_seconds,
+            monte_carlo_stderr=comparison.reference.std_error_seconds,
+            avf_mttf=_mttf_or_none(comparison, "avf"),
+            first_principles_mttf=_mttf_or_none(
+                comparison, "first_principles"
+            ),
+            softarch_mttf=_mttf_or_none(comparison, "softarch"),
+        )
+        for point, comparison in zip(points, result_set)
+    ]
 
 
 def system_sweep(
@@ -147,21 +174,29 @@ def system_sweep(
     component_counts: Iterable[int],
     mc_config: MonteCarloConfig | None = None,
     include_softarch: bool = False,
+    workers: int = 1,
+    cache=None,
 ) -> list[SweepResult]:
     """SOFR-step sweep over (workload, N x S, C), as in Figure 6.
 
     Following Section 4.2, the SOFR step is fed *Monte-Carlo* component
-    MTTFs so the reported error isolates the SOFR combination. Every
-    system here is homogeneous (C identical components), matching the
-    paper's cluster experiments.
+    MTTFs so the reported error isolates the SOFR combination; the batch
+    engine's component cache computes each distinct (workload, N x S)
+    component once and re-uses it for every C. Every system here is
+    homogeneous (C identical components), matching the paper's cluster
+    experiments.
     """
-    mc_config = mc_config or MonteCarloConfig()
-    results = []
+    from ..methods import evaluate_design_space
+
+    methods = ["sofr_only", "first_principles"]
+    if include_softarch:
+        methods.append("softarch")
+    component_counts = list(component_counts)
+    points: list[DesignPoint] = []
+    space: list[tuple[str, SystemModel]] = []
     for name, profile in workloads.items():
         for n_times_s in n_times_s_values:
-            point_rate = component_rate_per_second(n_times_s, 1.0)
-            base = Component(name, point_rate, profile)
-            component_mc = monte_carlo_component_mttf(base, mc_config)
+            rate = component_rate_per_second(n_times_s, 1.0)
             for c_count in component_counts:
                 point = DesignPoint(
                     workload=name,
@@ -169,38 +204,44 @@ def system_sweep(
                     scaling=1.0,
                     components=c_count,
                 )
-                system = SystemModel(
-                    [
-                        Component(
-                            name,
-                            point_rate,
-                            profile,
-                            multiplicity=c_count,
-                        )
-                    ]
-                )
-                mc = monte_carlo_mttf(system, mc_config)
-                sofr_only = sofr_mttf_from_values(
-                    [component_mc.mttf_seconds], [c_count]
-                )
-                results.append(
-                    SweepResult(
-                        point=point,
-                        monte_carlo_mttf=mc.mttf_seconds,
-                        monte_carlo_stderr=mc.std_error_seconds,
-                        sofr_only_mttf=sofr_only.mttf_seconds,
-                        avf_sofr_mttf=None,
-                        first_principles_mttf=first_principles_mttf(
-                            system
-                        ).mttf_seconds,
-                        softarch_mttf=(
-                            softarch_mttf(system).mttf_seconds
-                            if include_softarch
-                            else None
+                points.append(point)
+                space.append(
+                    (
+                        point.label,
+                        SystemModel(
+                            [
+                                Component(
+                                    name,
+                                    rate,
+                                    profile,
+                                    multiplicity=c_count,
+                                )
+                            ]
                         ),
                     )
                 )
-    return results
+    result_set = evaluate_design_space(
+        space,
+        methods=methods,
+        reference="monte_carlo",
+        mc_config=mc_config or MonteCarloConfig(),
+        workers=workers,
+        cache=cache,
+    )
+    return [
+        SweepResult(
+            point=point,
+            monte_carlo_mttf=comparison.reference.mttf_seconds,
+            monte_carlo_stderr=comparison.reference.std_error_seconds,
+            sofr_only_mttf=_mttf_or_none(comparison, "sofr_only"),
+            avf_sofr_mttf=None,
+            first_principles_mttf=_mttf_or_none(
+                comparison, "first_principles"
+            ),
+            softarch_mttf=_mttf_or_none(comparison, "softarch"),
+        )
+        for point, comparison in zip(points, result_set)
+    ]
 
 
 def table2_points(

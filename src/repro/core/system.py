@@ -87,11 +87,17 @@ class SystemModel:
         names = [c.name for c in components]
         if len(set(names)) != len(names):
             raise ConfigurationError(f"duplicate component names in {names}")
-        self._components = list(components)
+        self._components = tuple(components)
 
     @property
-    def components(self) -> list[Component]:
-        return list(self._components)
+    def components(self) -> tuple[Component, ...]:
+        """The components, as an immutable (and allocation-free) tuple.
+
+        Hot loops (per-trial Monte-Carlo code, design-space sweeps) read
+        this property repeatedly; returning the cached tuple avoids a
+        fresh list copy per access while keeping the model immutable.
+        """
+        return self._components
 
     @property
     def component_count(self) -> int:

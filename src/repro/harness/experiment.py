@@ -11,7 +11,13 @@ from .tables import Table
 
 @dataclass
 class ExperimentResult:
-    """Everything one experiment run produced."""
+    """Everything one experiment run produced.
+
+    ``result_set`` optionally carries the machine-readable
+    :class:`~repro.methods.results.ResultSet` behind the rendered
+    tables, so the CLI's ``--json`` flag can emit an artifact that
+    ``ResultSet.from_json`` loads back.
+    """
 
     artifact: str
     title: str
@@ -20,6 +26,7 @@ class ExperimentResult:
     figures: list[str] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
     headline: str = ""
+    result_set: object | None = None
 
     def render(self) -> str:
         """Human-readable console rendering."""

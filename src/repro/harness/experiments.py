@@ -16,6 +16,7 @@ window) are environment variables:
 from __future__ import annotations
 
 import os
+import zlib
 
 from ..analytical.busy_idle import figure3_curves
 from ..analytical.sofr_halfnormal import figure4_curve
@@ -30,12 +31,14 @@ from ..core.montecarlo import (
     monte_carlo_component_mttf,
     monte_carlo_mttf,
 )
+from ..core.comparison import MethodComparison
 from ..core.softarch import softarch_mttf
-from ..core.sofr import avf_sofr_mttf, sofr_mttf_from_values
+from ..core.sofr import sofr_mttf_from_values
 from ..core.system import Component, SystemModel
+from ..methods import ComponentCache, ResultSet, analyze, canonical_name
 from ..masking.profile import VulnerabilityProfile
 from ..microarch.config import MachineConfig
-from ..reliability.metrics import signed_relative_error
+from ..reliability.metrics import MTTFEstimate, signed_relative_error
 from ..ser.environment import (
     TABLE2_COMPONENT_COUNTS,
     TABLE2_ELEMENT_COUNTS,
@@ -66,6 +69,11 @@ COMBINED_PAIR = ("gzip", "swim")
 
 def _mc_config(trials: int | None, seed: int = 0) -> MonteCarloConfig:
     return MonteCarloConfig(trials=trials or DEFAULT_TRIALS, seed=seed)
+
+
+def _bench_seed(bench: str) -> int:
+    """Stable per-benchmark seed (``hash(str)`` is process-randomized)."""
+    return zlib.crc32(bench.encode("utf-8"))
 
 
 def _synthesized_workloads(
@@ -213,6 +221,26 @@ def run_fig3(trials: int | None = None, validate_mc: bool = True, **_):
             f"{deviation:+.3%} of MC (n={mc.trials})"
         )
     peak = max(p.relative_error for p in points)
+    result_set = ResultSet(
+        comparisons=tuple(
+            MethodComparison(
+                system_label=(
+                    f"busy_idle/L={p.loop_days:g}d/scale={p.rate_scale:g}x"
+                ),
+                reference=MTTFEstimate(
+                    mttf_seconds=p.exact_mttf, method="first_principles"
+                ),
+                estimates={
+                    "avf": MTTFEstimate(
+                        mttf_seconds=p.avf_mttf, method="avf"
+                    )
+                },
+            )
+            for p in points
+        ),
+        methods=("avf",),
+        reference_method="first_principles",
+    )
     return ExperimentResult(
         artifact="fig3",
         title="AVF-step error for the analytical busy/idle workload",
@@ -223,6 +251,7 @@ def run_fig3(trials: int | None = None, validate_mc: bool = True, **_):
         notes=notes,
         headline=f"error grows with L and rate scale; peak "
         f"{peak:.1%} at L=16d, 5x (paper's figure shows the same shape)",
+        result_set=result_set,
     )
 
 
@@ -306,6 +335,7 @@ def run_sec51(
     )
     worst_component = 0.0
     worst_sofr = 0.0
+    processor_set: ResultSet | None = None
     for bench in benchmarks:
         system = spec_uniprocessor_system(bench)
         for comp in system.components:
@@ -314,7 +344,7 @@ def run_sec51(
             error = signed_relative_error(approx, exact)
             worst_component = max(worst_component, abs(error))
             mc = monte_carlo_component_mttf(
-                comp, _mc_config(trials, seed=hash(bench) % 2**31)
+                comp, _mc_config(trials, seed=_bench_seed(bench))
             )
             sigma = (
                 abs(mc.mttf_seconds - exact) / mc.std_error_seconds
@@ -325,15 +355,26 @@ def run_sec51(
                 bench, comp.name, f"{comp.avf:.4f}", percent(error),
                 f"{sigma:.1f}",
             )
-        approx_sys = avf_sofr_mttf(system).mttf_seconds
-        exact_sys = first_principles_mttf(system).mttf_seconds
-        sofr_error = signed_relative_error(approx_sys, exact_sys)
+        bench_set = (
+            analyze(system, label=bench)
+            .using("avf_sofr")
+            .against("exact")
+            .run()
+        )
+        comparison = bench_set[0]
+        sofr_error = comparison.error("avf_sofr")
         worst_sofr = max(worst_sofr, abs(sofr_error))
         sofr_table.add_row(
             bench,
-            approx_sys / SECONDS_PER_YEAR,
-            exact_sys / SECONDS_PER_YEAR,
+            comparison.estimates["avf_sofr"].mttf_seconds
+            / SECONDS_PER_YEAR,
+            comparison.reference.mttf_seconds / SECONDS_PER_YEAR,
             percent(sofr_error),
+        )
+        processor_set = (
+            bench_set
+            if processor_set is None
+            else processor_set.merged(bench_set)
         )
     return ExperimentResult(
         artifact="sec5.1",
@@ -349,6 +390,7 @@ def run_sec51(
             "values of O(1) confirm the Monte-Carlo engine estimates the "
             "same quantity the closed form computes."
         ],
+        result_set=processor_set,
     )
 
 
@@ -603,6 +645,70 @@ def run_fig6b(
 # ---------------------------------------------------------------------------
 # Section 5.4 — SoftArch across the whole space.
 # ---------------------------------------------------------------------------
+
+
+# ---------------------------------------------------------------------------
+# Generic registry-driven comparison (ours; drives --method/--reference).
+# ---------------------------------------------------------------------------
+
+
+def run_compare(
+    benchmarks: tuple[str, ...] | None = None,
+    trials: int | None = None,
+    methods: tuple[str, ...] | None = None,
+    reference: str | None = None,
+    **_,
+):
+    """Compare any registered methods on the SPEC uniprocessor systems.
+
+    The method set and reference are fully pluggable — this is the
+    experiment the CLI's ``--method``/``--reference`` flags drive. Any
+    estimator added through :func:`repro.methods.register_method` is
+    immediately selectable here without touching this file.
+    """
+    benchmarks = benchmarks or REPRESENTATIVE_SPEC
+    methods = tuple(methods) if methods else (
+        "avf_sofr", "sofr_only", "first_principles", "hybrid"
+    )
+    # Estimates come back keyed by canonical registry names, so resolve
+    # aliases ("exact", "mc") up front before using them as table keys.
+    methods = tuple(dict.fromkeys(canonical_name(m) for m in methods))
+    reference = reference or "exact"
+    cache = ComponentCache()
+    table = Table(
+        f"Method comparison vs {reference} (SPEC uniprocessor)",
+        ["benchmark"] + [f"{m} error" for m in methods],
+    )
+    result_set: ResultSet | None = None
+    for bench in benchmarks:
+        system = spec_uniprocessor_system(bench)
+        bench_set = (
+            analyze(system, label=bench)
+            .using(*methods)
+            .against(reference)
+            .with_mc(_mc_config(trials, seed=_bench_seed(bench)))
+            .with_cache(cache)
+            .run()
+        )
+        comparison = bench_set[0]
+        table.add_row(
+            bench, *(percent(comparison.error(m)) for m in methods)
+        )
+        result_set = (
+            bench_set
+            if result_set is None
+            else result_set.merged(bench_set)
+        )
+    worst = {m: result_set.worst_abs_error(m) for m in methods}
+    worst_text = ", ".join(f"{m} {e:.2%}" for m, e in worst.items())
+    return ExperimentResult(
+        artifact="compare",
+        title="Registry-driven method comparison",
+        paper_claim="(ours) every method, one pluggable call surface.",
+        tables=[table],
+        headline=f"worst |error| vs {reference}: {worst_text}",
+        result_set=result_set,
+    )
 
 
 def run_sec54(

@@ -100,6 +100,14 @@ _register(
 )
 _register(
     Experiment(
+        "compare",
+        "Registry-driven method comparison",
+        "(ours) any registered methods via --method/--reference",
+        _impl.run_compare,
+    )
+)
+_register(
+    Experiment(
         "ablation.samplers",
         "Arrival vs inverse Monte-Carlo samplers",
         "(ours) the two samplers are distribution-identical",

@@ -5,6 +5,15 @@ Usage::
     repro-experiments --list
     repro-experiments fig3 fig4
     repro-experiments --all --markdown experiments.md
+    repro-experiments fig3 --json fig3.json
+    repro-experiments compare --method avf_sofr --method hybrid \\
+        --reference exact --json compare.json
+
+``--json`` writes the machine-readable
+:class:`~repro.methods.results.ResultSet` behind the run (loadable with
+``ResultSet.from_json``); ``--method``/``--reference`` select estimators
+from the method registry for experiments that support pluggable method
+sets (e.g. ``compare``).
 """
 
 from __future__ import annotations
@@ -40,6 +49,29 @@ def _build_parser() -> argparse.ArgumentParser:
         "or 100000; the paper used 1000000)",
     )
     parser.add_argument(
+        "--method",
+        action="append",
+        dest="methods",
+        metavar="NAME",
+        default=None,
+        help="method to run (repeatable); see repro.methods.available(). "
+        "Honoured by experiments with pluggable method sets.",
+    )
+    parser.add_argument(
+        "--reference",
+        default=None,
+        metavar="NAME",
+        help="reference method errors are measured against "
+        "('monte_carlo' or 'exact')",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the run's machine-readable ResultSet as JSON "
+        "(loadable with repro.methods.ResultSet.from_json)",
+    )
+    parser.add_argument(
         "--markdown",
         metavar="PATH",
         default=None,
@@ -58,19 +90,32 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {artifact:24s} {experiment.title}")
         return 0
 
+    run_kwargs: dict = {"trials": args.trials}
+    if args.methods:
+        run_kwargs["methods"] = tuple(args.methods)
+    if args.reference:
+        run_kwargs["reference"] = args.reference
+
     selected = (
         sorted(experiments) if args.all else args.artifacts
     )
     sections = []
+    merged_set = None
     for artifact in selected:
         experiment = get_experiment(artifact)
         started = time.perf_counter()
-        result = experiment.run(trials=args.trials)
+        result = experiment.run(**run_kwargs)
         elapsed = time.perf_counter() - started
         print(result.render())
         print(f"[{artifact}] completed in {elapsed:.1f}s")
         print()
         sections.append(result.render_markdown())
+        if result.result_set is not None:
+            merged_set = (
+                result.result_set
+                if merged_set is None
+                else merged_set.merged(result.result_set)
+            )
 
     if args.markdown:
         with open(args.markdown, "w", encoding="utf-8") as handle:
@@ -78,6 +123,16 @@ def main(argv: list[str] | None = None) -> int:
             handle.write("\n\n".join(sections))
             handle.write("\n")
         print(f"markdown report written to {args.markdown}")
+
+    if args.json:
+        if merged_set is None:
+            print(
+                f"no ResultSet produced by {' '.join(selected)}; "
+                f"{args.json} not written"
+            )
+            return 1
+        merged_set.to_json(args.json)
+        print(f"result set written to {args.json}")
     return 0
 
 

@@ -1,0 +1,171 @@
+"""Estimator protocol and shared estimation context.
+
+Every MTTF method the paper studies — and every method added since — is
+exposed through one uniform surface: an :class:`Estimator` with a
+``name``, capability flags, and an ``estimate(system, config)`` call
+returning an :class:`~repro.reliability.metrics.MTTFEstimate`. The
+:class:`MethodConfig` carries everything a method may need (Monte-Carlo
+settings, the reference convention for the SOFR-only step, a shared
+per-component memoization cache) so estimators stay stateless and the
+batch engine can fan them out freely.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field, replace
+from typing import Callable, Protocol, runtime_checkable
+
+from ..core.montecarlo import MonteCarloConfig
+from ..core.system import Component, SystemModel
+from ..reliability.metrics import MTTFEstimate
+
+
+class ComponentCache:
+    """Memoizes per-component-instance MTTFs across systems.
+
+    The design-space sweeps re-estimate the same component profile at the
+    same raw rate for every value of C (hundreds of grid points in the
+    Fig. 5/6 sweeps); one Monte-Carlo run per distinct component is
+    enough. Keys are ``(kind, profile identity, rate, mc settings)`` —
+    multiplicity deliberately excluded, since a component *instance's*
+    MTTF does not depend on how many copies the system has. The cached
+    value pins the profile object so ``id()`` keys can never be reused
+    by a different profile.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple, tuple[object, float]] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get_or_compute(
+        self,
+        kind: str,
+        component: Component,
+        mc: MonteCarloConfig | None,
+        compute: Callable[[], float],
+    ) -> float:
+        key = (kind, id(component.profile), component.rate_per_second, mc)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.hits += 1
+                return entry[1]
+        value = compute()
+        with self._lock:
+            self._entries.setdefault(key, (component.profile, value))
+            self.misses += 1
+        return value
+
+
+@dataclass(frozen=True)
+class MethodConfig:
+    """Everything an estimator may need beyond the system itself.
+
+    Attributes
+    ----------
+    mc:
+        Monte-Carlo settings (trials/seed/sampler) for stochastic
+        methods and for MC-fed component MTTFs.
+    reference:
+        Which reference convention the run uses (``"monte_carlo"`` or
+        ``"exact"``/``"first_principles"``). The SOFR-only step feeds on
+        component MTTFs from the reference method (Section 4.2), so it
+        needs to know.
+    cache:
+        Optional shared :class:`ComponentCache`; estimators that compute
+        per-component MTTFs consult it when present.
+    """
+
+    mc: MonteCarloConfig = field(default_factory=MonteCarloConfig)
+    reference: str = "monte_carlo"
+    cache: ComponentCache | None = None
+
+    def with_mc(self, mc: MonteCarloConfig | None) -> "MethodConfig":
+        if mc is None:
+            return self
+        return replace(self, mc=mc)
+
+    def component_mttf(
+        self,
+        kind: str,
+        component: Component,
+        mc: MonteCarloConfig | None,
+        compute: Callable[[], float],
+    ) -> float:
+        """Compute a per-component MTTF through the cache when present."""
+        if self.cache is None:
+            return compute()
+        return self.cache.get_or_compute(kind, component, mc, compute)
+
+
+@runtime_checkable
+class Estimator(Protocol):
+    """One MTTF estimation method, uniformly callable.
+
+    Attributes
+    ----------
+    name:
+        Registry key ("avf", "monte_carlo", ...).
+    is_stochastic:
+        True when the estimate carries sampling noise (so equal-seed
+        reruns are needed for reproducibility).
+    per_component:
+        True when the method works bottom-up from per-component MTTFs
+        (and therefore benefits from the component cache).
+    """
+
+    name: str
+    is_stochastic: bool
+    per_component: bool
+
+    def estimate(
+        self, system: SystemModel, config: MethodConfig | None = None
+    ) -> MTTFEstimate:
+        """Estimate the system MTTF."""
+        ...
+
+    def supports(self, system: SystemModel) -> bool:
+        """Whether this method can handle the given system."""
+        ...
+
+
+@dataclass(frozen=True)
+class FunctionEstimator:
+    """An :class:`Estimator` wrapping a plain estimation function.
+
+    This is the adapter shape :func:`~repro.methods.registry.register_method`
+    produces; the wrapped callable receives ``(system, config)`` with a
+    concrete (never ``None``) :class:`MethodConfig`.
+    """
+
+    name: str
+    fn: Callable[[SystemModel, MethodConfig], MTTFEstimate]
+    is_stochastic: bool = False
+    per_component: bool = False
+    supports_fn: Callable[[SystemModel], bool] | None = None
+    doc: str = ""
+
+    def estimate(
+        self, system: SystemModel, config: MethodConfig | None = None
+    ) -> MTTFEstimate:
+        return self.fn(system, config or MethodConfig())
+
+    def supports(self, system: SystemModel) -> bool:
+        if self.supports_fn is None:
+            return True
+        return self.supports_fn(system)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = []
+        if self.is_stochastic:
+            flags.append("stochastic")
+        if self.per_component:
+            flags.append("per-component")
+        suffix = f" [{', '.join(flags)}]" if flags else ""
+        return f"<method {self.name!r}{suffix}>"

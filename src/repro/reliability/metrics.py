@@ -57,6 +57,25 @@ class MTTFEstimate:
         half = 1.96 * self.std_error_seconds
         return (self.mttf_seconds - half, self.mttf_seconds + half)
 
+    def to_dict(self) -> dict:
+        """Plain-dict form for JSON serialization (lossless)."""
+        return {
+            "mttf_seconds": self.mttf_seconds,
+            "std_error_seconds": self.std_error_seconds,
+            "trials": self.trials,
+            "method": self.method,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MTTFEstimate":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            mttf_seconds=float(data["mttf_seconds"]),
+            std_error_seconds=float(data.get("std_error_seconds", 0.0)),
+            trials=int(data.get("trials", 0)),
+            method=str(data.get("method", "exact")),
+        )
+
     def __str__(self) -> str:
         if math.isinf(self.mttf_seconds):
             return f"MTTF=inf ({self.method})"
