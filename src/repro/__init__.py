@@ -83,6 +83,7 @@ from . import methods
 from .methods import (
     Analysis,
     ComponentCache,
+    DiskCache,
     MethodConfig,
     ResultSet,
     analyze,
@@ -115,6 +116,7 @@ __all__ = [
     "Analysis",
     "ComponentCache",
     "Component",
+    "DiskCache",
     "MethodComparison",
     "MethodConfig",
     "ResultSet",

@@ -23,6 +23,7 @@ from .avf import avf_mttf, avf_step, derated_failure_rate
 from .comparison import MethodComparison, compare_methods
 from .designspace import (
     DesignPoint,
+    SweepOutcome,
     SweepResult,
     component_sweep,
     system_sweep,
@@ -38,10 +39,17 @@ from .montecarlo import (
     ARRIVAL_INSTANCE_LIMIT,
     MonteCarloConfig,
     PAPER_TRIAL_COUNT,
+    SampleMoments,
+    chunk_configs,
+    component_chunk_moments,
+    estimate_from_moments,
+    merge_moments,
+    moments_from_samples,
     monte_carlo_component_mttf,
     monte_carlo_mttf,
     sample_component_ttf,
     sample_system_ttf,
+    system_chunk_moments,
 )
 from .softarch import (
     OutputEvent,
@@ -75,6 +83,7 @@ __all__ = [
     "MethodComparison",
     "compare_methods",
     "DesignPoint",
+    "SweepOutcome",
     "SweepResult",
     "component_sweep",
     "system_sweep",
@@ -86,6 +95,13 @@ __all__ = [
     "ARRIVAL_INSTANCE_LIMIT",
     "MonteCarloConfig",
     "PAPER_TRIAL_COUNT",
+    "SampleMoments",
+    "chunk_configs",
+    "component_chunk_moments",
+    "estimate_from_moments",
+    "merge_moments",
+    "moments_from_samples",
+    "system_chunk_moments",
     "monte_carlo_component_mttf",
     "monte_carlo_mttf",
     "sample_component_ttf",

@@ -20,6 +20,7 @@ over a thread pool (``workers=N``).
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence as SequenceABC
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
@@ -111,14 +112,43 @@ def _mttf_or_none(comparison, method: str) -> float | None:
     return None if est is None else est.mttf_seconds
 
 
+class SweepOutcome(SequenceABC):
+    """Sweep results plus the machine-readable set behind them.
+
+    Behaves exactly like the list of :class:`SweepResult` the sweeps
+    historically returned (indexing, iteration, ``len``), while also
+    carrying the engine's serializable
+    :class:`~repro.methods.results.ResultSet` so experiments can emit it
+    (the CLI's ``--json`` artifact) without re-deriving anything.
+    """
+
+    def __init__(self, results: Sequence[SweepResult], result_set):
+        self._results = tuple(results)
+        self.result_set = result_set
+
+    @property
+    def results(self) -> tuple[SweepResult, ...]:
+        return self._results
+
+    def __getitem__(self, index):
+        return self._results[index]
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SweepOutcome({len(self._results)} points)"
+
+
 def component_sweep(
     workloads: Mapping[str, VulnerabilityProfile],
     n_times_s_values: Iterable[float],
     mc_config: MonteCarloConfig | None = None,
     include_softarch: bool = False,
     workers: int = 1,
+    executor: str = "thread",
     cache=None,
-) -> list[SweepResult]:
+) -> SweepOutcome:
     """AVF-step sweep: single component (C = 1), as in Figure 5 / §5.2.
 
     Since only the product ``N x S`` matters for a single component
@@ -151,9 +181,10 @@ def component_sweep(
         reference="monte_carlo",
         mc_config=mc_config or MonteCarloConfig(),
         workers=workers,
+        executor=executor,
         cache=cache,
     )
-    return [
+    results = [
         SweepResult(
             point=point,
             monte_carlo_mttf=comparison.reference.mttf_seconds,
@@ -166,6 +197,7 @@ def component_sweep(
         )
         for point, comparison in zip(points, result_set)
     ]
+    return SweepOutcome(results, result_set)
 
 
 def system_sweep(
@@ -175,8 +207,9 @@ def system_sweep(
     mc_config: MonteCarloConfig | None = None,
     include_softarch: bool = False,
     workers: int = 1,
+    executor: str = "thread",
     cache=None,
-) -> list[SweepResult]:
+) -> SweepOutcome:
     """SOFR-step sweep over (workload, N x S, C), as in Figure 6.
 
     Following Section 4.2, the SOFR step is fed *Monte-Carlo* component
@@ -226,9 +259,10 @@ def system_sweep(
         reference="monte_carlo",
         mc_config=mc_config or MonteCarloConfig(),
         workers=workers,
+        executor=executor,
         cache=cache,
     )
-    return [
+    results = [
         SweepResult(
             point=point,
             monte_carlo_mttf=comparison.reference.mttf_seconds,
@@ -242,6 +276,7 @@ def system_sweep(
         )
         for point, comparison in zip(points, result_set)
     ]
+    return SweepOutcome(results, result_set)
 
 
 def table2_points(

@@ -23,7 +23,8 @@ can trade trials for precision knowingly.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Sequence
 
 import numpy as np
 
@@ -66,6 +67,15 @@ class MonteCarloConfig:
     max_arrival_rounds:
         Safety cap on resampling rounds per trial for the arrival
         sampler; ``None`` derives a generous cap from the masking ratio.
+    chunks:
+        Number of independent sub-runs the trials are split into
+        (default 1: one monolithic run, numbers identical to earlier
+        releases). With ``chunks > 1`` each chunk draws from its own
+        :class:`numpy.random.SeedSequence` spawn of ``seed`` and the
+        chunk moments are merged in chunk order, so the estimate is a
+        pure function of the configuration — the batch engine can
+        execute chunks serially, across threads, or across processes
+        and always reproduce the same mean and standard error.
     """
 
     trials: int = 200_000
@@ -73,6 +83,7 @@ class MonteCarloConfig:
     method: str = "inverse"
     start_phase: str = "zero"
     max_arrival_rounds: int | None = None
+    chunks: int = 1
 
     def __post_init__(self) -> None:
         if self.trials < 1:
@@ -86,6 +97,8 @@ class MonteCarloConfig:
                 f"unknown start phase {self.start_phase!r}; "
                 "use 'zero' or 'random'"
             )
+        if self.chunks < 1:
+            raise EstimationError(f"chunks must be >= 1, got {self.chunks}")
 
 
 def _estimate_from_samples(
@@ -113,6 +126,133 @@ def _estimate_from_samples(
         trials=int(samples.size),
         method=method_label,
     )
+
+
+# ---------------------------------------------------------------------------
+# Trial-chunked reduction.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SampleMoments:
+    """Sufficient statistics of one chunk of TTF samples.
+
+    ``m2`` is the sum of squared deviations from the chunk mean (the
+    Welford/Chan ``M2``), which merges exactly across chunks — the
+    merged (count, mean, m2) equal the whole-array statistics up to
+    floating-point rounding, so a chunked run reports the same standard
+    error a monolithic run over the concatenated samples would.
+    An all-infinite chunk (zero-mass component) has ``mean = inf``.
+    """
+
+    count: int
+    mean: float
+    m2: float
+
+
+def moments_from_samples(samples: np.ndarray) -> SampleMoments:
+    """Reduce a sample array to its mergeable sufficient statistics."""
+    if np.all(np.isinf(samples)):
+        return SampleMoments(int(samples.size), math.inf, 0.0)
+    if np.any(np.isinf(samples)):
+        raise EstimationError(
+            "mixed finite/infinite failure times; check component masses"
+        )
+    mean = float(samples.mean())
+    m2 = float(np.square(samples - mean).sum())
+    return SampleMoments(int(samples.size), mean, m2)
+
+
+def merge_moments(parts: Sequence[SampleMoments]) -> SampleMoments:
+    """Left-fold merge (Chan et al.) — deterministic in ``parts`` order."""
+    if not parts:
+        raise EstimationError("no sample moments to merge")
+    total = parts[0]
+    for part in parts[1:]:
+        if math.isinf(total.mean) or math.isinf(part.mean):
+            if math.isinf(total.mean) and math.isinf(part.mean):
+                total = SampleMoments(
+                    total.count + part.count, math.inf, 0.0
+                )
+                continue
+            raise EstimationError(
+                "mixed finite/infinite failure times across chunks; "
+                "check component masses"
+            )
+        count = total.count + part.count
+        delta = part.mean - total.mean
+        mean = total.mean + delta * part.count / count
+        m2 = (
+            total.m2
+            + part.m2
+            + delta * delta * total.count * part.count / count
+        )
+        total = SampleMoments(count, mean, m2)
+    return total
+
+
+def estimate_from_moments(
+    moments: SampleMoments, method_label: str
+) -> MTTFEstimate:
+    """Build the reported estimate from merged chunk statistics."""
+    if math.isinf(moments.mean):
+        return MTTFEstimate(
+            mttf_seconds=math.inf,
+            trials=moments.count,
+            method=method_label,
+        )
+    stderr = (
+        math.sqrt(moments.m2 / (moments.count - 1) / moments.count)
+        if moments.count > 1
+        else 0.0
+    )
+    return MTTFEstimate(
+        mttf_seconds=moments.mean,
+        std_error_seconds=stderr,
+        trials=moments.count,
+        method=method_label,
+    )
+
+
+def chunk_configs(config: MonteCarloConfig) -> list[MonteCarloConfig]:
+    """Split one MC configuration into its per-chunk configurations.
+
+    Chunk seeds come from ``SeedSequence(seed).spawn(...)`` — statistically
+    independent streams fully determined by the parent seed and the chunk
+    index, never by which worker executes the chunk. Trials divide as
+    evenly as possible (first chunks take the remainder). The split is a
+    pure function of the configuration, which is what makes
+    ``workers=1`` and ``workers=N`` runs numerically identical at fixed
+    chunking.
+    """
+    chunks = min(config.chunks, config.trials)
+    children = np.random.SeedSequence(config.seed).spawn(chunks)
+    base, extra = divmod(config.trials, chunks)
+    configs = []
+    for index, child in enumerate(children):
+        configs.append(
+            replace(
+                config,
+                trials=base + (1 if index < extra else 0),
+                seed=int(child.generate_state(1, np.uint64)[0]),
+                chunks=1,
+            )
+        )
+    return configs
+
+
+def system_chunk_moments(
+    system: SystemModel, config: MonteCarloConfig
+) -> SampleMoments:
+    """One chunk's reduction for a system (top-level: process-pool safe)."""
+    return moments_from_samples(sample_system_ttf(system, config))
+
+
+def component_chunk_moments(
+    component: Component, config: MonteCarloConfig
+) -> SampleMoments:
+    """One chunk's reduction for a single component instance."""
+    return moments_from_samples(sample_component_ttf(component, config))
 
 
 # ---------------------------------------------------------------------------
@@ -162,19 +302,39 @@ def sample_component_ttf(
 def monte_carlo_mttf(
     system: SystemModel, config: MonteCarloConfig | None = None
 ) -> MTTFEstimate:
-    """Monte-Carlo system MTTF (the paper's reference value)."""
+    """Monte-Carlo system MTTF (the paper's reference value).
+
+    With ``config.chunks > 1`` the trials run as independent seeded
+    chunks whose moments merge in chunk order — the exact computation
+    the batch engine distributes across a process pool, so serial and
+    parallel runs agree to the bit.
+    """
     config = config or MonteCarloConfig()
+    label = f"monte_carlo[{config.method}]"
+    if config.chunks > 1:
+        parts = [
+            system_chunk_moments(system, chunk)
+            for chunk in chunk_configs(config)
+        ]
+        return estimate_from_moments(merge_moments(parts), label)
     samples = sample_system_ttf(system, config)
-    return _estimate_from_samples(samples, f"monte_carlo[{config.method}]")
+    return _estimate_from_samples(samples, label)
 
 
 def monte_carlo_component_mttf(
     component: Component, config: MonteCarloConfig | None = None
 ) -> MTTFEstimate:
-    """Monte-Carlo MTTF of one component instance."""
+    """Monte-Carlo MTTF of one component instance (chunking as above)."""
     config = config or MonteCarloConfig()
+    label = f"monte_carlo[{config.method}]"
+    if config.chunks > 1:
+        parts = [
+            component_chunk_moments(component, chunk)
+            for chunk in chunk_configs(config)
+        ]
+        return estimate_from_moments(merge_moments(parts), label)
     samples = sample_component_ttf(component, config)
-    return _estimate_from_samples(samples, f"monte_carlo[{config.method}]")
+    return _estimate_from_samples(samples, label)
 
 
 # ---------------------------------------------------------------------------

@@ -9,6 +9,7 @@ homogeneous cluster) without enumerating them.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -63,6 +64,23 @@ class Component:
         return self.profile.to_hazard(self.rate_per_second)
 
     @property
+    def content_fingerprint(self) -> str:
+        """Stable digest of the *estimation identity* of one instance.
+
+        Covers exactly what a single copy's MTTF depends on — the
+        profile content and the raw rate. ``name`` (a label) and
+        ``multiplicity`` (a system-level property) are deliberately
+        excluded, so C identical components at every cluster size share
+        one cache entry. Unlike ``id()``-based keys, this survives
+        process boundaries and repeated CLI invocations.
+        """
+        digest = hashlib.sha256(b"component/v1:")
+        digest.update(self.profile.fingerprint.encode("ascii"))
+        digest.update(b"|")
+        digest.update(float(self.rate_per_second).hex().encode("ascii"))
+        return digest.hexdigest()
+
+    @property
     def lambda_l(self) -> float:
         """The paper's validity parameter ``lambda * L`` for this component.
 
@@ -103,6 +121,33 @@ class SystemModel:
     def component_count(self) -> int:
         """Total component instances including multiplicities (paper's C)."""
         return sum(c.multiplicity for c in self._components)
+
+    @property
+    def content_fingerprint(self) -> str:
+        """Stable digest of the whole system's estimation identity.
+
+        Unlike :attr:`Component.content_fingerprint` this includes names,
+        multiplicities, and component order, so it identifies the exact
+        series system a *system-level* estimate was computed for. Used by
+        the batch engine's estimate cache (:mod:`repro.methods.cache`).
+        """
+        fp = getattr(self, "_fingerprint", None)
+        if fp is None:
+            digest = hashlib.sha256(b"system/v1:")
+            for comp in self._components:
+                digest.update(comp.name.encode("utf-8"))
+                digest.update(b"|")
+                digest.update(
+                    float(comp.rate_per_second).hex().encode("ascii")
+                )
+                digest.update(b"|")
+                digest.update(str(comp.multiplicity).encode("ascii"))
+                digest.update(b"|")
+                digest.update(comp.profile.fingerprint.encode("ascii"))
+                digest.update(b";")
+            fp = digest.hexdigest()
+            self._fingerprint = fp
+        return fp
 
     def combined_intensity(self) -> CyclicIntensity:
         """Superposed failure intensity of the whole series system.

@@ -12,6 +12,14 @@ These probe the reproduction's own design choices:
 * dilation sensitivity — AVF/SOFR errors depend on the workload only
   through the dimensionless hazard mass ``λ·V(L)``, which justifies the
   time-dilation bridging of simulated window lengths.
+
+Like the paper experiments, the ablations route their estimation
+through :func:`repro.methods.evaluate_design_space`, emit a
+serializable ``result_set``, and honour the runner's
+``workers``/``executor``/``cache_dir``/``mc_chunks`` knobs. The one
+exception is the exponentiality ablation, whose KS diagnostic is
+sample-level by nature: it draws its samples directly (once) and
+reduces both the diagnostics and its result set from them.
 """
 
 from __future__ import annotations
@@ -21,16 +29,21 @@ import os
 
 import numpy as np
 
-from ..core.avf import avf_mttf
-from ..core.firstprinciples import exact_component_mttf
-from ..core.montecarlo import MonteCarloConfig, sample_component_ttf
-from ..core.system import Component
+from ..core.montecarlo import (
+    MonteCarloConfig,
+    estimate_from_moments,
+    moments_from_samples,
+    sample_component_ttf,
+)
+from ..core.comparison import MethodComparison
+from ..core.system import Component, SystemModel
+from ..methods import ResultSet, evaluate_design_space
 from ..reliability.diagnostics import exponentiality_report
-from ..reliability.metrics import signed_relative_error
+from ..reliability.metrics import MTTFEstimate, signed_relative_error
 from ..reliability.process import FailureProcess
 from ..units import SECONDS_PER_DAY
 from ..workloads.longrun import day_workload
-from .experiment import ExperimentResult
+from .experiment import ExperimentResult, cache_note, make_cache
 from .tables import Table, percent
 
 _DEFAULT_TRIALS = int(os.environ.get("REPRO_MC_TRIALS", "100000"))
@@ -40,40 +53,78 @@ def _day_component(rate: float) -> Component:
     return Component("proc", rate, day_workload())
 
 
-def run_sampler_equivalence(trials: int | None = None, **_):
+def _day_system(rate: float) -> SystemModel:
+    return SystemModel([_day_component(rate)])
+
+
+def run_sampler_equivalence(
+    trials: int | None = None,
+    workers: int = 1,
+    executor: str = "thread",
+    cache_dir: str | None = None,
+    mc_chunks: int = 1,
+    **_,
+):
     trials = trials or _DEFAULT_TRIALS
     table = Table(
         "Ablation: arrival vs inverse sampler",
         ["lambda*L", "inverse mean (d)", "arrival mean (d)",
          "difference (sigma)", "max |decile gap|"],
     )
+    lam_ls = (0.01, 0.1, 1.0, 5.0)
+    space = [
+        (f"day/lambdaL={lam_l:g}", _day_system(lam_l / SECONDS_PER_DAY))
+        for lam_l in lam_ls
+    ]
+    cache = make_cache(cache_dir)
+    engine = dict(workers=workers, executor=executor, cache=cache)
+    inverse_set = evaluate_design_space(
+        space,
+        methods=["first_principles"],
+        reference="monte_carlo",
+        mc_config=MonteCarloConfig(trials=trials, seed=1, chunks=mc_chunks),
+        **engine,
+    )
+    arrival_set = evaluate_design_space(
+        [(f"{label}/arrival", system) for label, system in space],
+        methods=["first_principles"],
+        reference="monte_carlo",
+        mc_config=MonteCarloConfig(
+            trials=trials, seed=2, method="arrival", chunks=mc_chunks
+        ),
+        **engine,
+    )
     worst_sigma = 0.0
-    for lam_l in (0.01, 0.1, 1.0, 5.0):
-        rate = lam_l / SECONDS_PER_DAY
-        comp = _day_component(rate)
-        inv = sample_component_ttf(
+    deciles = np.linspace(0.1, 0.9, 9)
+    for lam_l, inv_cmp, arr_cmp in zip(lam_ls, inverse_set, arrival_set):
+        inv, arr = inv_cmp.reference, arr_cmp.reference
+        pooled_se = math.sqrt(
+            inv.std_error_seconds**2 + arr.std_error_seconds**2
+        )
+        sigma = abs(inv.mttf_seconds - arr.mttf_seconds) / pooled_se
+        worst_sigma = max(worst_sigma, sigma)
+        # Distributional check: a mean match alone would miss a sampler
+        # that distorts the TTF shape, so compare the samplers'
+        # quantiles on fresh same-seed draws (mean/stderr above come
+        # from the cached engine estimates).
+        comp = _day_component(lam_l / SECONDS_PER_DAY)
+        inv_samples = sample_component_ttf(
             comp, MonteCarloConfig(trials=trials, seed=1)
         )
-        arr = sample_component_ttf(
-            comp,
-            MonteCarloConfig(trials=trials, seed=2, method="arrival"),
+        arr_samples = sample_component_ttf(
+            comp, MonteCarloConfig(trials=trials, seed=2, method="arrival")
         )
-        pooled_se = math.sqrt(
-            inv.var(ddof=1) / inv.size + arr.var(ddof=1) / arr.size
-        )
-        sigma = abs(inv.mean() - arr.mean()) / pooled_se
-        worst_sigma = max(worst_sigma, sigma)
-        deciles = np.linspace(0.1, 0.9, 9)
         gap = np.max(
             np.abs(
-                np.quantile(inv, deciles) - np.quantile(arr, deciles)
+                np.quantile(inv_samples, deciles)
+                - np.quantile(arr_samples, deciles)
             )
-            / np.quantile(inv, deciles)
+            / np.quantile(inv_samples, deciles)
         )
         table.add_row(
             f"{lam_l:g}",
-            inv.mean() / 86400.0,
-            arr.mean() / 86400.0,
+            inv.mttf_seconds / 86400.0,
+            arr.mttf_seconds / 86400.0,
             f"{sigma:.2f}",
             percent(float(gap)),
         )
@@ -85,33 +136,51 @@ def run_sampler_equivalence(trials: int | None = None, **_):
         tables=[table],
         headline=f"mean differences within {worst_sigma:.1f} standard "
         "errors across four hazard regimes",
+        notes=cache_note([], cache, cache_dir),
+        result_set=inverse_set.merged(arrival_set),
     )
 
 
-def run_mc_convergence(trials: int | None = None, **_):
+def run_mc_convergence(
+    trials: int | None = None,
+    workers: int = 1,
+    executor: str = "thread",
+    cache_dir: str | None = None,
+    mc_chunks: int = 1,
+    **_,
+):
     base_trials = trials or _DEFAULT_TRIALS
     rate = 0.5 / SECONDS_PER_DAY
-    comp = _day_component(rate)
-    exact = exact_component_mttf(rate, comp.profile)
+    system = _day_system(rate)
     table = Table(
         "Ablation: Monte-Carlo convergence",
         ["trials", "MC MTTF (d)", "rel. deviation", "stderr/mean"],
     )
+    cache = make_cache(cache_dir)
     rows = []
+    merged: ResultSet | None = None
     for factor in (0.01, 0.1, 1.0):
         n = max(int(base_trials * factor), 100)
-        samples = sample_component_ttf(
-            comp, MonteCarloConfig(trials=n, seed=3)
+        trial_set = evaluate_design_space(
+            [(f"day/trials={n}", system)],
+            methods=["first_principles"],
+            reference="monte_carlo",
+            mc_config=MonteCarloConfig(trials=n, seed=3, chunks=mc_chunks),
+            workers=workers,
+            executor=executor,
+            cache=cache,
         )
-        deviation = signed_relative_error(float(samples.mean()), exact)
-        rel_se = float(
-            samples.std(ddof=1) / math.sqrt(n) / samples.mean()
-        )
+        comparison = trial_set[0]
+        mc = comparison.reference
+        exact = comparison.estimates["first_principles"].mttf_seconds
+        deviation = signed_relative_error(mc.mttf_seconds, exact)
+        rel_se = mc.std_error_seconds / mc.mttf_seconds
         rows.append((n, rel_se))
         table.add_row(
-            n, samples.mean() / 86400.0, percent(deviation),
+            n, mc.mttf_seconds / 86400.0, percent(deviation),
             percent(rel_se),
         )
+        merged = trial_set if merged is None else merged.merged(trial_set)
     # 1/sqrt(n): se ratio between smallest and largest trial counts.
     expected_ratio = math.sqrt(rows[-1][0] / rows[0][0])
     actual_ratio = rows[0][1] / rows[-1][1]
@@ -123,6 +192,8 @@ def run_mc_convergence(trials: int | None = None, **_):
         headline=f"stderr ratio {actual_ratio:.1f} vs sqrt-law "
         f"{expected_ratio:.1f} across a {rows[-1][0] // rows[0][0]}x "
         "trial range",
+        notes=cache_note([], cache, cache_dir),
+        result_set=merged,
     )
 
 
@@ -133,7 +204,13 @@ def run_exponentiality(trials: int | None = None, **_):
         ["lambda*L", "exact CoV", "sample CoV", "KS distance",
          "looks exponential"],
     )
-    for lam_l in (1e-3, 0.1, 1.0, 10.0):
+    lam_ls = (1e-3, 0.1, 1.0, 10.0)
+    # This ablation is sample-level (KS distance needs the raw TTF
+    # array, which the batch engine deliberately does not keep), so the
+    # samples are drawn once and *both* the diagnostics and the
+    # result-set estimates are reduced from them — no second pass.
+    comparisons = []
+    for lam_l in lam_ls:
         rate = lam_l / SECONDS_PER_DAY
         comp = _day_component(rate)
         process = FailureProcess(comp.intensity)
@@ -148,6 +225,20 @@ def run_exponentiality(trials: int | None = None, **_):
             f"{report.ks_distance:.4f}",
             report.looks_exponential,
         )
+        comparisons.append(
+            MethodComparison(
+                system_label=f"day/lambdaL={lam_l:g}",
+                reference=estimate_from_moments(
+                    moments_from_samples(samples), "monte_carlo[inverse]"
+                ),
+                estimates={
+                    "first_principles": MTTFEstimate(
+                        mttf_seconds=process.mttf(),
+                        method="first_principles",
+                    )
+                },
+            )
+        )
     return ExperimentResult(
         artifact="ablation.exponentiality",
         title="Masking drives the TTF away from exponential",
@@ -157,47 +248,66 @@ def run_exponentiality(trials: int | None = None, **_):
         headline="CoV and KS distance grow with hazard mass per "
         "iteration; the exponentiality screen fails exactly where "
         "Figure 6 shows SOFR failing",
+        result_set=ResultSet(
+            comparisons=tuple(comparisons),
+            methods=("first_principles",),
+            reference_method="monte_carlo",
+        ),
     )
 
 
-def run_hybrid_method(**_):
+def run_hybrid_method(
+    workers: int = 1,
+    executor: str = "thread",
+    cache_dir: str | None = None,
+    **_,
+):
     from ..core.hybrid import hybrid_system_mttf
-    from ..core.sofr import avf_sofr_mttf
-    from ..core.system import SystemModel
 
     table = Table(
         "Ablation: hybrid methodology vs AVF+SOFR vs exact",
         ["C", "mass/component", "regime", "method chosen",
          "AVF+SOFR error", "hybrid error"],
     )
+    severities = (
+        (2, 1e-6), (100, 1e-4), (100, 3e-2), (5000, 3e-3), (50000, 0.1)
+    )
+    profile = day_workload()
+    space = []
+    for count, mass in severities:
+        rate = mass / profile.vulnerable_time
+        space.append(
+            (
+                f"day/C={count}/mass={mass:g}",
+                SystemModel(
+                    [Component("node", rate, profile, multiplicity=count)]
+                ),
+            )
+        )
+    cache = make_cache(cache_dir)
+    result_set = evaluate_design_space(
+        space,
+        methods=["avf_sofr", "hybrid"],
+        reference="first_principles",
+        workers=workers,
+        executor=executor,
+        cache=cache,
+    )
     worst_hybrid = 0.0
     worst_plain = 0.0
-    for count, mass in (
-        (2, 1e-6), (100, 1e-4), (100, 3e-2), (5000, 3e-3), (50000, 0.1)
+    for (count, mass), (label, system), comparison in zip(
+        severities, space, result_set
     ):
-        profile = day_workload()
-        rate = mass / profile.vulnerable_time
-        from repro.core.system import Component as _Component
-
-        system = SystemModel(
-            [_Component("node", rate, profile, multiplicity=count)]
-        )
-        from ..core.firstprinciples import first_principles_mttf
-
-        exact = first_principles_mttf(system).mttf_seconds
-        plain = avf_sofr_mttf(system).mttf_seconds
-        hybrid = hybrid_system_mttf(system)
-        plain_err = signed_relative_error(plain, exact)
-        hybrid_err = signed_relative_error(
-            hybrid.estimate.mttf_seconds, exact
-        )
+        regime = hybrid_system_mttf(system).regime
+        plain_err = comparison.error("avf_sofr")
+        hybrid_err = comparison.error("hybrid")
         worst_hybrid = max(worst_hybrid, abs(hybrid_err))
         worst_plain = max(worst_plain, abs(plain_err))
         table.add_row(
             count,
             f"{mass:g}",
-            hybrid.regime.value,
-            hybrid.estimate.method,
+            regime.value,
+            comparison.estimates["hybrid"].method,
             percent(plain_err),
             percent(hybrid_err),
         )
@@ -210,10 +320,17 @@ def run_hybrid_method(**_):
         tables=[table],
         headline=f"hybrid worst error {worst_hybrid:.3%} vs AVF+SOFR "
         f"worst {worst_plain:.0%} across the severity sweep",
+        notes=cache_note([], cache, cache_dir),
+        result_set=result_set,
     )
 
 
-def run_dilation_sensitivity(**_):
+def run_dilation_sensitivity(
+    workers: int = 1,
+    executor: str = "thread",
+    cache_dir: str | None = None,
+    **_,
+):
     from .spec_setup import processor_profile
 
     table = Table(
@@ -222,13 +339,33 @@ def run_dilation_sensitivity(**_):
          "AVF-step error"],
     )
     base = processor_profile("gzip")
-    for dilation in (1.0, 10.0, 100.0, 2500.0):
+    dilations = (1.0, 10.0, 100.0, 2500.0)
+    # Choose the rate so the *undilated* mass would be 1e-4.
+    rate = 1e-4 / base.vulnerable_time
+    space = []
+    profiles = []
+    for dilation in dilations:
         profile = base.dilated(dilation)
-        # Choose the rate so the *undilated* mass would be 1e-4.
-        rate = 1e-4 / base.vulnerable_time
-        exact = exact_component_mttf(rate, profile)
-        approx = avf_mttf(rate, profile)
-        error = signed_relative_error(approx, exact)
+        profiles.append(profile)
+        space.append(
+            (
+                f"gzip/dilation={dilation:g}x",
+                SystemModel([Component("gzip", rate, profile)]),
+            )
+        )
+    cache = make_cache(cache_dir)
+    result_set = evaluate_design_space(
+        space,
+        methods=["avf"],
+        reference="first_principles",
+        workers=workers,
+        executor=executor,
+        cache=cache,
+    )
+    for dilation, profile, comparison in zip(
+        dilations, profiles, result_set
+    ):
+        error = comparison.error("avf")
         table.add_row(
             f"{dilation:g}x",
             profile.period,
@@ -245,4 +382,6 @@ def run_dilation_sensitivity(**_):
         tables=[table],
         headline="AVF constant under dilation; error grows exactly with "
         "the dilated hazard mass",
+        notes=cache_note([], cache, cache_dir),
+        result_set=result_set,
     )

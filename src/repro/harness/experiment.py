@@ -6,7 +6,29 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..errors import ConfigurationError
+from ..methods import ComponentCache, DiskCache
 from .tables import Table
+
+
+def make_cache(cache_dir: str | None) -> ComponentCache:
+    """An experiment's estimate cache, disk-backed when requested."""
+    if cache_dir:
+        return ComponentCache(disk=DiskCache(cache_dir))
+    return ComponentCache()
+
+
+def cache_note(
+    notes: list[str], cache: ComponentCache, cache_dir: str | None
+) -> list[str]:
+    """Append the cache-stats note CI's warm-cache smoke test greps for.
+
+    The format (``estimate cache [...]: ... misses=0`` on a warm rerun)
+    is asserted by the CI smoke job and the runner tests — keep them in
+    sync when changing it.
+    """
+    if cache_dir:
+        notes.append(f"estimate cache [{cache_dir}]: {cache.stats_line()}")
+    return notes
 
 
 @dataclass

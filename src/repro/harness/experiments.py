@@ -1,9 +1,23 @@
 """Implementations of every paper artifact (tables, figures, claims).
 
 Each ``run_*`` function regenerates one artifact and returns an
-:class:`~repro.harness.experiment.ExperimentResult`. Defaults are sized
-to finish in seconds; the paper-scale knobs (Monte-Carlo trials, SPEC
-window) are environment variables:
+:class:`~repro.harness.experiment.ExperimentResult`. Every experiment
+routes its estimation through the batch engine
+(:func:`repro.methods.evaluate_design_space`), so all of them share the
+same memoization, fan-out, and serializable ``result_set`` machinery,
+and all honour the runner's parallel/caching knobs:
+
+* ``workers`` / ``executor`` — fan the grid out over a thread or
+  process pool (``--workers`` / ``--executor``);
+* ``cache_dir`` — back the estimate cache with an on-disk,
+  content-addressed store so repeated invocations skip re-estimation
+  (``--cache-dir``);
+* ``mc_chunks`` — split each Monte-Carlo estimate into seeded chunks
+  (``--mc-chunks``); numbers depend on the chunking, never on the
+  worker count.
+
+Defaults are sized to finish in seconds; the paper-scale knobs
+(Monte-Carlo trials, SPEC window) are environment variables:
 
 * ``REPRO_MC_TRIALS``          — trials per Monte-Carlo estimate
   (default 100,000; the paper uses 1,000,000);
@@ -20,22 +34,11 @@ import zlib
 
 from ..analytical.busy_idle import figure3_curves
 from ..analytical.sofr_halfnormal import figure4_curve
-from ..core.avf import avf_mttf
-from ..core.designspace import component_sweep, system_sweep, table2_points
-from ..core.firstprinciples import (
-    exact_component_mttf,
-    first_principles_mttf,
-)
-from ..core.montecarlo import (
-    MonteCarloConfig,
-    monte_carlo_component_mttf,
-    monte_carlo_mttf,
-)
 from ..core.comparison import MethodComparison
-from ..core.softarch import softarch_mttf
-from ..core.sofr import sofr_mttf_from_values
+from ..core.designspace import component_sweep, system_sweep, table2_points
+from ..core.montecarlo import MonteCarloConfig
 from ..core.system import Component, SystemModel
-from ..methods import ComponentCache, ResultSet, analyze, canonical_name
+from ..methods import ResultSet, canonical_name, evaluate_design_space
 from ..masking.profile import VulnerabilityProfile
 from ..microarch.config import MachineConfig
 from ..reliability.metrics import MTTFEstimate, signed_relative_error
@@ -48,7 +51,7 @@ from ..ser.rates import component_rate_per_second
 from ..units import SECONDS_PER_YEAR
 from ..workloads.longrun import combined_workload, day_workload, week_workload
 from ..workloads.spec import SPEC_FP_NAMES, SPEC_INT_NAMES
-from .experiment import ExperimentResult
+from .experiment import ExperimentResult, cache_note, make_cache
 from .figures import render_series
 from .spec_setup import (
     masking_trace_for,
@@ -67,8 +70,12 @@ REPRESENTATIVE_SPEC = ("gzip", "mcf", "swim")
 COMBINED_PAIR = ("gzip", "swim")
 
 
-def _mc_config(trials: int | None, seed: int = 0) -> MonteCarloConfig:
-    return MonteCarloConfig(trials=trials or DEFAULT_TRIALS, seed=seed)
+def _mc_config(
+    trials: int | None, seed: int = 0, chunks: int = 1
+) -> MonteCarloConfig:
+    return MonteCarloConfig(
+        trials=trials or DEFAULT_TRIALS, seed=seed, chunks=chunks
+    )
 
 
 def _bench_seed(bench: str) -> int:
@@ -98,7 +105,13 @@ def _synthesized_workloads(
 # ---------------------------------------------------------------------------
 
 
-def run_table1(benchmarks: tuple[str, ...] = REPRESENTATIVE_SPEC, **_):
+def run_table1(
+    benchmarks: tuple[str, ...] = REPRESENTATIVE_SPEC,
+    workers: int = 1,
+    executor: str = "thread",
+    cache_dir: str | None = None,
+    **_,
+):
     config = MachineConfig.power4_like()
     table = Table("Table 1: base POWER4-like processor configuration",
                   ["Parameter", "Value"])
@@ -125,6 +138,17 @@ def run_table1(benchmarks: tuple[str, ...] = REPRESENTATIVE_SPEC, **_):
             f"{trace.avf('decode_unit'):.3f}",
             f"{trace.avf('register_file'):.3f}",
         )
+    # Closed-form sanity sweep over the same machines: AVF+SOFR vs exact
+    # on each benchmark's uniprocessor (no Monte Carlo — instant).
+    cache = make_cache(cache_dir)
+    result_set = evaluate_design_space(
+        [(bench, spec_uniprocessor_system(bench)) for bench in benchmarks],
+        methods=["avf_sofr"],
+        reference="first_principles",
+        workers=workers,
+        executor=executor,
+        cache=cache,
+    )
     return ExperimentResult(
         artifact="table1",
         title="Base processor configuration",
@@ -134,6 +158,8 @@ def run_table1(benchmarks: tuple[str, ...] = REPRESENTATIVE_SPEC, **_):
         tables=[table, behaviour],
         headline="configuration reproduced field-for-field "
         f"({len(config.table1_rows())} Table-1 rows)",
+        notes=cache_note([], cache, cache_dir),
+        result_set=result_set,
     )
 
 
@@ -142,7 +168,12 @@ def run_table1(benchmarks: tuple[str, ...] = REPRESENTATIVE_SPEC, **_):
 # ---------------------------------------------------------------------------
 
 
-def run_table2(**_):
+def run_table2(
+    workers: int = 1,
+    executor: str = "thread",
+    cache_dir: str | None = None,
+    **_,
+):
     table = Table("Table 2: design space dimensions", ["Dimension", "Values"])
     table.add_row("N (elements/component)",
                   " ".join(f"{v:g}" for v in TABLE2_ELEMENT_COUNTS))
@@ -158,6 +189,31 @@ def run_table2(**_):
     points = table2_points(
         ["spec_int", "spec_fp", "day", "week", "combined"]
     )
+    # Evaluate a representative closed-form corner of the grid through
+    # the batch engine, demonstrating the space is not merely enumerable.
+    workloads = {"day": day_workload(), "week": week_workload()}
+    space = []
+    for name, profile in workloads.items():
+        rate = component_rate_per_second(1e8, 1.0)
+        for c_count in (2, 5000):
+            space.append(
+                (
+                    f"{name}/NxS=1e+08/C={c_count}",
+                    SystemModel(
+                        [Component(name, rate, profile,
+                                   multiplicity=c_count)]
+                    ),
+                )
+            )
+    cache = make_cache(cache_dir)
+    result_set = evaluate_design_space(
+        space,
+        methods=["avf_sofr"],
+        reference="first_principles",
+        workers=workers,
+        executor=executor,
+        cache=cache,
+    )
     return ExperimentResult(
         artifact="table2",
         title="Design space explored",
@@ -165,7 +221,10 @@ def run_table2(**_):
         "SPEC + day/week/combined workloads.",
         tables=[table],
         headline=f"{len(points)} design points enumerable "
-        "(5 N x 5 S x 5 C x 5 workload families)",
+        "(5 N x 5 S x 5 C x 5 workload families); "
+        f"{len(space)}-point representative corner evaluated",
+        notes=cache_note([], cache, cache_dir),
+        result_set=result_set,
     )
 
 
@@ -206,6 +265,7 @@ def run_fig3(trials: int | None = None, validate_mc: bool = True, **_):
     notes = []
     if validate_mc:
         # Cross-check one closed-form point against Monte Carlo.
+        from ..core.montecarlo import monte_carlo_component_mttf
         from ..masking.profile import busy_idle_profile
         from ..units import SECONDS_PER_DAY
 
@@ -300,6 +360,26 @@ def run_fig4(trials: int | None = None, validate_mc: bool = True, **_):
         )
     two = next(p for p in points if p.n_components == 2)
     last = points[-1]
+    # These points live in distribution space (no SystemModel), so the
+    # result set is assembled directly rather than via the batch engine.
+    result_set = ResultSet(
+        comparisons=tuple(
+            MethodComparison(
+                system_label=f"halfnormal/N={p.n_components}",
+                reference=MTTFEstimate(
+                    mttf_seconds=p.exact_mttf, method="first_principles"
+                ),
+                estimates={
+                    "sofr_only": MTTFEstimate(
+                        mttf_seconds=p.sofr_mttf, method="sofr"
+                    )
+                },
+            )
+            for p in points
+        ),
+        methods=("sofr_only",),
+        reference_method="first_principles",
+    )
     return ExperimentResult(
         artifact="fig4",
         title="SOFR-step error for a near-exponential TTF distribution",
@@ -310,6 +390,7 @@ def run_fig4(trials: int | None = None, validate_mc: bool = True, **_):
         notes=notes,
         headline=f"{two.relative_error:.1%} at N=2 rising to "
         f"{last.relative_error:.1%} at N={last.n_components}",
+        result_set=result_set,
     )
 
 
@@ -321,6 +402,10 @@ def run_fig4(trials: int | None = None, validate_mc: bool = True, **_):
 def run_sec51(
     benchmarks: tuple[str, ...] | None = None,
     trials: int | None = None,
+    workers: int = 1,
+    executor: str = "thread",
+    cache_dir: str | None = None,
+    mc_chunks: int = 1,
     **_,
 ):
     benchmarks = benchmarks or REPRESENTATIVE_SPEC
@@ -333,33 +418,47 @@ def run_sec51(
         "Section 5.1: processor-level AVF+SOFR error",
         ["benchmark", "AVF+SOFR MTTF (y)", "exact MTTF (y)", "error"],
     )
+    cache = make_cache(cache_dir)
+    engine = dict(workers=workers, executor=executor, cache=cache)
     worst_component = 0.0
     worst_sofr = 0.0
-    processor_set: ResultSet | None = None
+    merged: ResultSet | None = None
     for bench in benchmarks:
         system = spec_uniprocessor_system(bench)
-        for comp in system.components:
-            exact = exact_component_mttf(comp.rate_per_second, comp.profile)
-            approx = avf_mttf(comp.rate_per_second, comp.profile)
-            error = signed_relative_error(approx, exact)
+        mc = _mc_config(trials, seed=_bench_seed(bench), chunks=mc_chunks)
+        # Component level: AVF step and MC consistency vs the closed form,
+        # one single-component system per unit.
+        component_set = evaluate_design_space(
+            [
+                (f"{bench}/{comp.name}", SystemModel([comp]))
+                for comp in system.components
+            ],
+            methods=["avf", "monte_carlo"],
+            reference="first_principles",
+            mc_config=mc,
+            **engine,
+        )
+        for comp, comparison in zip(system.components, component_set):
+            error = comparison.error("avf")
             worst_component = max(worst_component, abs(error))
-            mc = monte_carlo_component_mttf(
-                comp, _mc_config(trials, seed=_bench_seed(bench))
-            )
+            mc_est = comparison.estimates["monte_carlo"]
             sigma = (
-                abs(mc.mttf_seconds - exact) / mc.std_error_seconds
-                if mc.std_error_seconds > 0
+                abs(mc_est.mttf_seconds - comparison.reference.mttf_seconds)
+                / mc_est.std_error_seconds
+                if mc_est.std_error_seconds > 0
                 else 0.0
             )
             table.add_row(
                 bench, comp.name, f"{comp.avf:.4f}", percent(error),
                 f"{sigma:.1f}",
             )
-        bench_set = (
-            analyze(system, label=bench)
-            .using("avf_sofr")
-            .against("exact")
-            .run()
+        # Processor level: the full AVF+SOFR pipeline vs first principles.
+        bench_set = evaluate_design_space(
+            [(bench, system)],
+            methods=["avf_sofr"],
+            reference="first_principles",
+            mc_config=mc,
+            **engine,
         )
         comparison = bench_set[0]
         sofr_error = comparison.error("avf_sofr")
@@ -371,10 +470,9 @@ def run_sec51(
             comparison.reference.mttf_seconds / SECONDS_PER_YEAR,
             percent(sofr_error),
         )
-        processor_set = (
-            bench_set
-            if processor_set is None
-            else processor_set.merged(bench_set)
+        bench_merged = component_set.merged(bench_set)
+        merged = (
+            bench_merged if merged is None else merged.merged(bench_merged)
         )
     return ExperimentResult(
         artifact="sec5.1",
@@ -385,12 +483,16 @@ def run_sec51(
         headline=f"worst component error {worst_component:.4%}, worst "
         f"processor error {worst_sofr:.4%} (both far below the paper's "
         "0.5% bound)",
-        notes=[
-            "MC consistency column: |MC - exact| in standard errors; "
-            "values of O(1) confirm the Monte-Carlo engine estimates the "
-            "same quantity the closed form computes."
-        ],
-        result_set=processor_set,
+        notes=cache_note(
+            [
+                "MC consistency column: |MC - exact| in standard errors; "
+                "values of O(1) confirm the Monte-Carlo engine estimates "
+                "the same quantity the closed form computes."
+            ],
+            cache,
+            cache_dir,
+        ),
+        result_set=merged,
     )
 
 
@@ -402,6 +504,9 @@ def run_sec51(
 def run_sec52(
     benchmarks: tuple[str, ...] | None = None,
     n_times_s_values: tuple[float, ...] = (1e5, 1e7, 1e9, 5e12),
+    workers: int = 1,
+    executor: str = "thread",
+    cache_dir: str | None = None,
     **_,
 ):
     benchmarks = benchmarks or REPRESENTATIVE_SPEC
@@ -410,21 +515,36 @@ def run_sec52(
         "(paper window via time dilation)",
         ["benchmark", "N x S", "lambda*V(L)", "AVF-step error"],
     )
-    worst = 0.0
+    space = []
+    masses = []
     for bench in benchmarks:
         profile = processor_profile(bench, dilate_to_paper_window=True)
         for n_times_s in n_times_s_values:
             rate = component_rate_per_second(n_times_s, 1.0)
-            exact = exact_component_mttf(rate, profile)
-            approx = avf_mttf(rate, profile)
-            error = signed_relative_error(approx, exact)
-            worst = max(worst, abs(error))
-            table.add_row(
-                bench,
-                f"{n_times_s:g}",
-                f"{rate * profile.vulnerable_time:.2e}",
-                percent(error),
+            space.append(
+                (
+                    f"{bench}/NxS={n_times_s:g}",
+                    SystemModel([Component(bench, rate, profile)]),
+                )
             )
+            masses.append(rate * profile.vulnerable_time)
+    cache = make_cache(cache_dir)
+    result_set = evaluate_design_space(
+        space,
+        methods=["avf"],
+        reference="first_principles",
+        workers=workers,
+        executor=executor,
+        cache=cache,
+    )
+    worst = 0.0
+    for (label, _system), mass, comparison in zip(
+        space, masses, result_set
+    ):
+        bench, n_label = label.split("/NxS=")
+        error = comparison.error("avf")
+        worst = max(worst, abs(error))
+        table.add_row(bench, n_label, f"{mass:.2e}", percent(error))
     return ExperimentResult(
         artifact="sec5.2",
         title="AVF step stays accurate for SPEC at every N x S",
@@ -434,11 +554,16 @@ def run_sec52(
         headline=f"worst AVF-step error {worst:.4%} across "
         f"{len(benchmarks)} benchmarks x {len(n_times_s_values)} N*S "
         "points",
-        notes=[
-            "SPEC loop lengths are milliseconds, so lambda*V(L) stays "
-            "tiny even at N x S = 5e12 — exactly why the paper finds the "
-            "AVF step safe for SPEC-like workloads."
-        ],
+        notes=cache_note(
+            [
+                "SPEC loop lengths are milliseconds, so lambda*V(L) stays "
+                "tiny even at N x S = 5e12 — exactly why the paper finds "
+                "the AVF step safe for SPEC-like workloads."
+            ],
+            cache,
+            cache_dir,
+        ),
+        result_set=result_set,
     )
 
 
@@ -450,11 +575,21 @@ def run_sec52(
 def run_fig5(
     trials: int | None = None,
     n_times_s_values: tuple[float, ...] = (1e8, 1e9, 1e10, 1e11, 1e12),
+    workers: int = 1,
+    executor: str = "thread",
+    cache_dir: str | None = None,
+    mc_chunks: int = 1,
     **_,
 ):
     workloads = _synthesized_workloads()
+    cache = make_cache(cache_dir)
     results = component_sweep(
-        workloads, n_times_s_values, _mc_config(trials),
+        workloads,
+        n_times_s_values,
+        _mc_config(trials, chunks=mc_chunks),
+        workers=workers,
+        executor=executor,
+        cache=cache,
     )
     table = Table(
         "Figure 5: AVF-step error vs Monte Carlo, synthesized workloads",
@@ -490,6 +625,8 @@ def run_fig5(
         figures=[figure],
         headline=f"peak |error| {peak:.0%}; {len(big)} points with "
         ">1% error at N x S >= 1e9",
+        notes=cache_note([], cache, cache_dir),
+        result_set=results.result_set,
     )
 
 
@@ -503,14 +640,25 @@ def run_fig6a(
     benchmarks: tuple[str, ...] = REPRESENTATIVE_SPEC,
     n_times_s_values: tuple[float, ...] = (1e9, 2e12, 5e12),
     component_counts: tuple[int, ...] = (2, 8, 5000, 50000),
+    workers: int = 1,
+    executor: str = "thread",
+    cache_dir: str | None = None,
+    mc_chunks: int = 1,
     **_,
 ):
     workloads = {
         bench: processor_profile(bench, dilate_to_paper_window=True)
         for bench in benchmarks
     }
+    cache = make_cache(cache_dir)
     results = system_sweep(
-        workloads, n_times_s_values, component_counts, _mc_config(trials)
+        workloads,
+        n_times_s_values,
+        component_counts,
+        _mc_config(trials, chunks=mc_chunks),
+        workers=workers,
+        executor=executor,
+        cache=cache,
     )
     table = Table(
         "Figure 6(a): SOFR-step error vs Monte Carlo, SPEC workloads "
@@ -541,11 +689,16 @@ def run_fig6a(
         tables=[table],
         headline=f"C<=8 worst error {safe_worst:.2%}; overall worst "
         f"{worst:.0%} at the largest C x (N x S) corner",
-        notes=[
-            "Profiles are time-dilated to the paper's 1e8-instruction "
-            "loop; the dimensionless hazard mass matches the paper's "
-            "points (see DESIGN.md)."
-        ],
+        notes=cache_note(
+            [
+                "Profiles are time-dilated to the paper's 1e8-instruction "
+                "loop; the dimensionless hazard mass matches the paper's "
+                "points (see DESIGN.md)."
+            ],
+            cache,
+            cache_dir,
+        ),
+        result_set=results.result_set,
     )
 
 
@@ -553,6 +706,10 @@ def run_fig6b(
     trials: int | None = None,
     n_times_s_values: tuple[float, ...] = (1e8, 1e9),
     component_counts: tuple[int, ...] = (2, 8, 5000, 50000, 500000),
+    workers: int = 1,
+    executor: str = "thread",
+    cache_dir: str | None = None,
+    mc_chunks: int = 1,
     **_,
 ):
     workloads = _synthesized_workloads()
@@ -562,48 +719,72 @@ def run_fig6b(
         ["workload", "N x S", "C", "MC MTTF (d)", "SOFR MTTF (d)",
          "error (zero phase)", "error (random phase)"],
     )
-    key_points: dict = {}
+    space: list[tuple[str, SystemModel]] = []
+    meta: list[tuple[str, float, int]] = []
     for name, profile in workloads.items():
         for n_times_s in n_times_s_values:
             rate = component_rate_per_second(n_times_s, 1.0)
-            base = Component(name, rate, profile)
-            component_mc = monte_carlo_component_mttf(
-                base, _mc_config(trials)
-            )
             for c_count in component_counts:
-                system = SystemModel(
-                    [Component(name, rate, profile, multiplicity=c_count)]
+                space.append(
+                    (
+                        f"{name}/NxS={n_times_s:g}/C={c_count}",
+                        SystemModel(
+                            [
+                                Component(
+                                    name, rate, profile,
+                                    multiplicity=c_count,
+                                )
+                            ]
+                        ),
+                    )
                 )
-                sofr = sofr_mttf_from_values(
-                    [component_mc.mttf_seconds], [c_count]
-                ).mttf_seconds
-                mc_zero = monte_carlo_mttf(system, _mc_config(trials))
-                mc_random = monte_carlo_mttf(
-                    system,
-                    MonteCarloConfig(
-                        trials=trials or DEFAULT_TRIALS,
-                        seed=1,
-                        start_phase="random",
-                    ),
-                )
-                err_zero = signed_relative_error(
-                    sofr, mc_zero.mttf_seconds
-                )
-                err_random = signed_relative_error(
-                    sofr, mc_random.mttf_seconds
-                )
-                table.add_row(
-                    name,
-                    f"{n_times_s:g}",
-                    c_count,
-                    mc_zero.mttf_seconds / 86400.0,
-                    sofr / 86400.0,
-                    percent(err_zero),
-                    percent(err_random),
-                )
-                key_points[(name, n_times_s, c_count)] = (
-                    err_zero, err_random,
-                )
+                meta.append((name, n_times_s, c_count))
+    cache = make_cache(cache_dir)
+    engine = dict(workers=workers, executor=executor, cache=cache)
+    # Zero-phase pass: the SOFR step (fed zero-phase MC component MTTFs,
+    # memoized once per distinct component across every C) against the
+    # zero-phase Monte-Carlo reference.
+    zero_set = evaluate_design_space(
+        space,
+        methods=["sofr_only"],
+        reference="monte_carlo",
+        mc_config=_mc_config(trials, chunks=mc_chunks),
+        **engine,
+    )
+    # Random-phase pass: only the reference changes convention; the SOFR
+    # estimate stays the zero-phase one (the literal reading of the
+    # paper's procedure), so this pass carries the closed form instead.
+    random_set = evaluate_design_space(
+        [(f"{label}/phase=random", system) for label, system in space],
+        methods=["first_principles"],
+        reference="monte_carlo",
+        mc_config=MonteCarloConfig(
+            trials=trials or DEFAULT_TRIALS,
+            seed=1,
+            start_phase="random",
+            chunks=mc_chunks,
+        ),
+        **engine,
+    )
+    key_points: dict = {}
+    for (name, n_times_s, c_count), zero_cmp, random_cmp in zip(
+        meta, zero_set, random_set
+    ):
+        sofr = zero_cmp.estimates["sofr_only"].mttf_seconds
+        mc_zero = zero_cmp.reference.mttf_seconds
+        mc_random = random_cmp.reference.mttf_seconds
+        err_zero = signed_relative_error(sofr, mc_zero)
+        err_random = signed_relative_error(sofr, mc_random)
+        table.add_row(
+            name,
+            f"{n_times_s:g}",
+            c_count,
+            mc_zero / 86400.0,
+            sofr / 86400.0,
+            percent(err_zero),
+            percent(err_random),
+        )
+        key_points[(name, n_times_s, c_count)] = (err_zero, err_random)
     day5k = key_points.get(("day", 1e8, 5000))
     day50k = key_points.get(("day", 1e8, 50000))
     week5k = key_points.get(("week", 1e8, 5000))
@@ -627,24 +808,24 @@ def run_fig6b(
         tables=[table],
         headline="; ".join(headline_bits)
         or "see table (paper key points reproduced)",
-        notes=[
-            "Two loop-phase conventions are reported: 'zero' starts "
-            "every trial at the beginning of the busy period (the "
-            "literal reading of the paper's Monte-Carlo procedure); "
-            "'random' starts at a uniform offset into the loop. In the "
-            "regime the paper highlights (MTTF comparable to one "
-            "iteration) the convention changes the numbers but not the "
-            "structure: SOFR is accurate for C <= 8 and breaks by tens "
-            "of percent for C >= 5000, errors growing with C and with "
-            "the workload period (week > day > combined), exactly the "
-            "paper's pattern."
-        ],
+        notes=cache_note(
+            [
+                "Two loop-phase conventions are reported: 'zero' starts "
+                "every trial at the beginning of the busy period (the "
+                "literal reading of the paper's Monte-Carlo procedure); "
+                "'random' starts at a uniform offset into the loop. In the "
+                "regime the paper highlights (MTTF comparable to one "
+                "iteration) the convention changes the numbers but not the "
+                "structure: SOFR is accurate for C <= 8 and breaks by tens "
+                "of percent for C >= 5000, errors growing with C and with "
+                "the workload period (week > day > combined), exactly the "
+                "paper's pattern."
+            ],
+            cache,
+            cache_dir,
+        ),
+        result_set=zero_set.merged(random_set),
     )
-
-
-# ---------------------------------------------------------------------------
-# Section 5.4 — SoftArch across the whole space.
-# ---------------------------------------------------------------------------
 
 
 # ---------------------------------------------------------------------------
@@ -657,6 +838,10 @@ def run_compare(
     trials: int | None = None,
     methods: tuple[str, ...] | None = None,
     reference: str | None = None,
+    workers: int = 1,
+    executor: str = "thread",
+    cache_dir: str | None = None,
+    mc_chunks: int = 1,
     **_,
 ):
     """Compare any registered methods on the SPEC uniprocessor systems.
@@ -674,21 +859,25 @@ def run_compare(
     # aliases ("exact", "mc") up front before using them as table keys.
     methods = tuple(dict.fromkeys(canonical_name(m) for m in methods))
     reference = reference or "exact"
-    cache = ComponentCache()
+    cache = make_cache(cache_dir)
     table = Table(
         f"Method comparison vs {reference} (SPEC uniprocessor)",
         ["benchmark"] + [f"{m} error" for m in methods],
     )
+    # One engine call per benchmark (each keeps its own stable MC seed),
+    # merged into one result set.
     result_set: ResultSet | None = None
     for bench in benchmarks:
-        system = spec_uniprocessor_system(bench)
-        bench_set = (
-            analyze(system, label=bench)
-            .using(*methods)
-            .against(reference)
-            .with_mc(_mc_config(trials, seed=_bench_seed(bench)))
-            .with_cache(cache)
-            .run()
+        bench_set = evaluate_design_space(
+            [(bench, spec_uniprocessor_system(bench))],
+            methods=methods,
+            reference=reference,
+            mc_config=_mc_config(
+                trials, seed=_bench_seed(bench), chunks=mc_chunks
+            ),
+            workers=workers,
+            executor=executor,
+            cache=cache,
         )
         comparison = bench_set[0]
         table.add_row(
@@ -707,14 +896,24 @@ def run_compare(
         paper_claim="(ours) every method, one pluggable call surface.",
         tables=[table],
         headline=f"worst |error| vs {reference}: {worst_text}",
+        notes=cache_note([], cache, cache_dir),
         result_set=result_set,
     )
+
+
+# ---------------------------------------------------------------------------
+# Section 5.4 — SoftArch across the whole space.
+# ---------------------------------------------------------------------------
 
 
 def run_sec54(
     trials: int | None = None,
     n_times_s_values: tuple[float, ...] = (1e8, 1e10, 1e12),
     component_counts: tuple[int, ...] = (1, 8, 5000, 50000),
+    workers: int = 1,
+    executor: str = "thread",
+    cache_dir: str | None = None,
+    mc_chunks: int = 1,
     **_,
 ):
     workloads = _synthesized_workloads()
@@ -723,33 +922,57 @@ def run_sec54(
         for bench in REPRESENTATIVE_SPEC
     }
     all_workloads = {**workloads, **spec_profiles}
+    space: list[tuple[str, SystemModel]] = []
+    meta: list[tuple[str, float, int]] = []
+    for name, profile in all_workloads.items():
+        for n_times_s in n_times_s_values:
+            rate = component_rate_per_second(n_times_s, 1.0)
+            for c_count in component_counts:
+                space.append(
+                    (
+                        f"{name}/NxS={n_times_s:g}/C={c_count}",
+                        SystemModel(
+                            [
+                                Component(
+                                    name, rate, profile,
+                                    multiplicity=c_count,
+                                )
+                            ]
+                        ),
+                    )
+                )
+                meta.append((name, n_times_s, c_count))
+    cache = make_cache(cache_dir)
+    result_set = evaluate_design_space(
+        space,
+        methods=["softarch", "first_principles"],
+        reference="monte_carlo",
+        mc_config=_mc_config(trials, chunks=mc_chunks),
+        workers=workers,
+        executor=executor,
+        cache=cache,
+    )
     table = Table(
         "Section 5.4: SoftArch error vs Monte Carlo / exact",
         ["workload", "N x S", "C", "SoftArch vs exact",
          "SoftArch vs MC (sigma)"],
     )
     worst_exact = 0.0
-    for name, profile in all_workloads.items():
-        for n_times_s in n_times_s_values:
-            rate = component_rate_per_second(n_times_s, 1.0)
-            for c_count in component_counts:
-                system = SystemModel(
-                    [Component(name, rate, profile, multiplicity=c_count)]
-                )
-                sa = softarch_mttf(system).mttf_seconds
-                exact = first_principles_mttf(system).mttf_seconds
-                vs_exact = signed_relative_error(sa, exact)
-                worst_exact = max(worst_exact, abs(vs_exact))
-                mc = monte_carlo_mttf(system, _mc_config(trials))
-                sigma = (
-                    abs(sa - mc.mttf_seconds) / mc.std_error_seconds
-                    if mc.std_error_seconds > 0
-                    else 0.0
-                )
-                table.add_row(
-                    name, f"{n_times_s:g}", c_count,
-                    percent(vs_exact), f"{sigma:.1f}",
-                )
+    for (name, n_times_s, c_count), comparison in zip(meta, result_set):
+        sa = comparison.estimates["softarch"].mttf_seconds
+        exact = comparison.estimates["first_principles"].mttf_seconds
+        vs_exact = signed_relative_error(sa, exact)
+        worst_exact = max(worst_exact, abs(vs_exact))
+        mc = comparison.reference
+        sigma = (
+            abs(sa - mc.mttf_seconds) / mc.std_error_seconds
+            if mc.std_error_seconds > 0
+            else 0.0
+        )
+        table.add_row(
+            name, f"{n_times_s:g}", c_count,
+            percent(vs_exact), f"{sigma:.1f}",
+        )
     return ExperimentResult(
         artifact="sec5.4",
         title="SoftArch shows no AVF/SOFR discrepancies anywhere",
@@ -759,4 +982,6 @@ def run_sec54(
         headline=f"worst SoftArch-vs-exact error {worst_exact:.2e} "
         "(all points far inside the paper's 1%/2% bounds); deviations "
         "from MC are pure sampling noise",
+        notes=cache_note([], cache, cache_dir),
+        result_set=result_set,
     )

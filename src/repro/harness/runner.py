@@ -8,12 +8,19 @@ Usage::
     repro-experiments fig3 --json fig3.json
     repro-experiments compare --method avf_sofr --method hybrid \\
         --reference exact --json compare.json
+    repro-experiments fig5 --executor process --workers 8 \\
+        --mc-chunks 16 --cache-dir ~/.cache/repro
 
 ``--json`` writes the machine-readable
 :class:`~repro.methods.results.ResultSet` behind the run (loadable with
 ``ResultSet.from_json``); ``--method``/``--reference`` select estimators
 from the method registry for experiments that support pluggable method
-sets (e.g. ``compare``).
+sets (e.g. ``compare``). ``--workers``/``--executor`` fan the batch
+engine out over threads or processes, ``--mc-chunks`` splits each
+Monte-Carlo estimate into seeded chunks (numbers depend on the chunking,
+never the worker count), and ``--cache-dir`` persists every estimate in
+a content-addressed on-disk cache so repeated invocations skip
+re-estimation entirely.
 """
 
 from __future__ import annotations
@@ -65,6 +72,36 @@ def _build_parser() -> argparse.ArgumentParser:
         "('monte_carlo' or 'exact')",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan-out width for the batch engine (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help="fan-out backend: 'thread' (default) or 'process' (true "
+        "parallelism; numbers identical to serial at fixed --mc-chunks)",
+    )
+    parser.add_argument(
+        "--mc-chunks",
+        type=int,
+        default=1,
+        metavar="K",
+        help="split each Monte-Carlo estimate into K seeded chunks "
+        "(enables chunk-granular process fan-out; default: 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help="content-addressed on-disk estimate cache; warm reruns "
+        "skip re-estimation (entries invalidate automatically when a "
+        "profile, rate, or MC configuration changes)",
+    )
+    parser.add_argument(
         "--json",
         metavar="PATH",
         default=None,
@@ -90,7 +127,13 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {artifact:24s} {experiment.title}")
         return 0
 
-    run_kwargs: dict = {"trials": args.trials}
+    run_kwargs: dict = {
+        "trials": args.trials,
+        "workers": args.workers,
+        "executor": args.executor,
+        "cache_dir": args.cache_dir,
+        "mc_chunks": args.mc_chunks,
+    }
     if args.methods:
         run_kwargs["methods"] = tuple(args.methods)
     if args.reference:

@@ -7,6 +7,7 @@ point the :mod:`repro.reliability.hazard` machinery takes over.
 
 from __future__ import annotations
 
+import hashlib
 from abc import ABC, abstractmethod
 from typing import Sequence
 
@@ -36,6 +37,19 @@ class VulnerabilityProfile(ABC):
     @abstractmethod
     def value_at(self, tau):
         """Vulnerability at local time ``tau ∈ [0, period)`` (vectorised)."""
+
+    @property
+    @abstractmethod
+    def fingerprint(self) -> str:
+        """Stable content digest of the profile.
+
+        Two profiles with identical shape (same breakpoints and values,
+        bit-for-bit) share a fingerprint regardless of object identity;
+        any change to the content changes it. This is the cache-key
+        identity the estimation caches use (:mod:`repro.methods.cache`),
+        replacing fragile ``id()`` keys and surviving process boundaries
+        and reruns.
+        """
 
     @property
     def avf(self) -> float:
@@ -105,6 +119,26 @@ class PiecewiseProfile(VulnerabilityProfile):
     @property
     def segment_count(self) -> int:
         return int(self._unit.rates.size)
+
+    @property
+    def fingerprint(self) -> str:
+        fp = getattr(self, "_fingerprint", None)
+        if fp is None:
+            digest = hashlib.sha256(b"piecewise/v1:")
+            digest.update(
+                np.ascontiguousarray(
+                    self._unit.breakpoints, dtype=np.float64
+                ).tobytes()
+            )
+            digest.update(b"|")
+            digest.update(
+                np.ascontiguousarray(
+                    self._unit.rates, dtype=np.float64
+                ).tobytes()
+            )
+            fp = digest.hexdigest()
+            self._fingerprint = fp
+        return fp
 
     def value_at(self, tau):
         """Vulnerability at local time ``tau ∈ [0, period)``."""
@@ -193,6 +227,20 @@ class NestedProfile(VulnerabilityProfile):
     @property
     def vulnerable_time(self) -> float:
         return self._unit.mass
+
+    @property
+    def fingerprint(self) -> str:
+        fp = getattr(self, "_fingerprint", None)
+        if fp is None:
+            digest = hashlib.sha256(b"nested/v1:")
+            for duration, inner in self._segments:
+                digest.update(float(duration).hex().encode("ascii"))
+                digest.update(b"|")
+                digest.update(inner.fingerprint.encode("ascii"))
+                digest.update(b";")
+            fp = digest.hexdigest()
+            self._fingerprint = fp
+        return fp
 
     def to_hazard(self, rate_per_second: float) -> NestedHazard:
         if rate_per_second < 0:

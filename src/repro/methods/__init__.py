@@ -18,6 +18,7 @@ makes the method set a first-class, pluggable axis:
 """
 
 from .base import ComponentCache, Estimator, FunctionEstimator, MethodConfig
+from .cache import DiskCache, mc_token
 from .registry import (
     all_methods,
     available,
@@ -36,6 +37,7 @@ from .results import ResultSet
 __all__ = [
     "Analysis",
     "ComponentCache",
+    "DiskCache",
     "Estimator",
     "FunctionEstimator",
     "MethodConfig",

@@ -19,29 +19,78 @@ from typing import Callable, Protocol, runtime_checkable
 from ..core.montecarlo import MonteCarloConfig
 from ..core.system import Component, SystemModel
 from ..reliability.metrics import MTTFEstimate
+from .cache import DiskCache, mc_token
 
 
 class ComponentCache:
-    """Memoizes per-component-instance MTTFs across systems.
+    """Memoizes MTTF estimates across systems, keyed by content.
 
-    The design-space sweeps re-estimate the same component profile at the
-    same raw rate for every value of C (hundreds of grid points in the
-    Fig. 5/6 sweeps); one Monte-Carlo run per distinct component is
-    enough. Keys are ``(kind, profile identity, rate, mc settings)`` —
-    multiplicity deliberately excluded, since a component *instance's*
-    MTTF does not depend on how many copies the system has. The cached
-    value pins the profile object so ``id()`` keys can never be reused
-    by a different profile.
+    Two levels of granularity share one cache object:
+
+    * **per-component** MTTFs (``get_or_compute``) — the design-space
+      sweeps re-estimate the same component profile at the same raw rate
+      for every value of C (hundreds of grid points in the Fig. 5/6
+      sweeps); one Monte-Carlo run per distinct component is enough;
+    * **system-level** estimates (``get_or_compute_estimate``) — the
+      batch engine memoizes whole reference/method estimates so a warm
+      rerun of a sweep performs zero re-estimations.
+
+    Keys are *content-addressed*: they derive from the component/system
+    ``content_fingerprint`` (a digest of profile breakpoints/values,
+    rates, multiplicities) plus the Monte-Carlo settings — never from
+    ``id()``, which could be silently reused by a different profile
+    after garbage collection and means nothing across processes.
+    Multiplicity is deliberately excluded from component keys, since a
+    component *instance's* MTTF does not depend on how many copies the
+    system has.
+
+    Pass ``disk=DiskCache(path)`` to back the in-memory maps with a
+    persistent JSON-per-entry store shared across CLI invocations;
+    lookups then go memory -> disk -> compute, and computed values are
+    written through.
     """
 
-    def __init__(self) -> None:
-        self._entries: dict[tuple, tuple[object, float]] = {}
+    def __init__(self, disk: DiskCache | None = None) -> None:
+        self._entries: dict[str, float] = {}
+        self._estimates: dict[str, MTTFEstimate] = {}
         self._lock = threading.Lock()
+        self.disk = disk
+        #: Component-level memory hits/misses (back-compat counters).
         self.hits = 0
         self.misses = 0
+        #: System-level estimate memory hits/misses.
+        self.estimate_hits = 0
+        self.estimate_misses = 0
+        #: Disk hits at either level.
+        self.disk_hits = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._entries) + len(self._estimates)
+
+    def stats_line(self) -> str:
+        """One-line summary (the CLI prints this for ``--cache-dir`` runs).
+
+        ``misses`` counts *every* estimation actually performed —
+        component-level and system-level — so a warm disk-cache rerun
+        reports ``misses=0``.
+        """
+        return (
+            f"entries={len(self)} "
+            f"hits={self.hits + self.estimate_hits} "
+            f"disk_hits={self.disk_hits} "
+            f"misses={self.misses + self.estimate_misses}"
+        )
+
+    # -- per-component values ---------------------------------------------
+
+    @staticmethod
+    def component_key(
+        kind: str, component: Component, mc: MonteCarloConfig | None
+    ) -> str:
+        return (
+            f"component/{kind}/{component.content_fingerprint}/"
+            f"{mc_token(mc)}"
+        )
 
     def get_or_compute(
         self,
@@ -50,17 +99,80 @@ class ComponentCache:
         mc: MonteCarloConfig | None,
         compute: Callable[[], float],
     ) -> float:
-        key = (kind, id(component.profile), component.rate_per_second, mc)
+        key = self.component_key(kind, component, mc)
         with self._lock:
-            entry = self._entries.get(key)
-            if entry is not None:
+            if key in self._entries:
                 self.hits += 1
-                return entry[1]
+                return self._entries[key]
+        if self.disk is not None:
+            stored = self.disk.get(key)
+            if stored is not None:
+                value = float(stored["mttf_seconds"])
+                with self._lock:
+                    self._entries.setdefault(key, value)
+                    self.disk_hits += 1
+                return value
         value = compute()
         with self._lock:
-            self._entries.setdefault(key, (component.profile, value))
+            self._entries.setdefault(key, value)
             self.misses += 1
+        if self.disk is not None:
+            self.disk.put(key, {"mttf_seconds": value})
         return value
+
+    # -- system-level estimates -------------------------------------------
+
+    @staticmethod
+    def estimate_key(
+        method: str,
+        system: SystemModel,
+        mc: MonteCarloConfig | None,
+        reference: str,
+    ) -> str:
+        return (
+            f"system/{method}/{reference}/{system.content_fingerprint}/"
+            f"{mc_token(mc)}"
+        )
+
+    def lookup_estimate(self, key: str) -> MTTFEstimate | None:
+        """Memory-then-disk lookup; counts a miss when absent."""
+        with self._lock:
+            if key in self._estimates:
+                self.estimate_hits += 1
+                return self._estimates[key]
+        if self.disk is not None:
+            stored = self.disk.get(key)
+            if stored is not None:
+                estimate = MTTFEstimate.from_dict(stored)
+                with self._lock:
+                    self._estimates.setdefault(key, estimate)
+                    self.disk_hits += 1
+                return estimate
+        with self._lock:
+            self.estimate_misses += 1
+        return None
+
+    def store_estimate(self, key: str, estimate: MTTFEstimate) -> None:
+        with self._lock:
+            self._estimates.setdefault(key, estimate)
+        if self.disk is not None:
+            self.disk.put(key, estimate.to_dict())
+
+    def get_or_compute_estimate(
+        self,
+        method: str,
+        system: SystemModel,
+        mc: MonteCarloConfig | None,
+        reference: str,
+        compute: Callable[[], MTTFEstimate],
+    ) -> MTTFEstimate:
+        key = self.estimate_key(method, system, mc, reference)
+        found = self.lookup_estimate(key)
+        if found is not None:
+            return found
+        estimate = compute()
+        self.store_estimate(key, estimate)
+        return estimate
 
 
 @dataclass(frozen=True)

@@ -4,32 +4,48 @@
 systems — the Table-2 grid, a cluster-size sweep, a workload family —
 with one uniform call, replacing the bespoke per-experiment loops. It
 
-* memoizes per-component MTTFs in a shared
-  :class:`~repro.methods.base.ComponentCache` (the same component
-  profile is re-estimated hundreds of times across grid points in the
-  Fig. 5/6 sweeps otherwise),
-* optionally fans out over a thread pool (``workers=N``; the NumPy
-  samplers release the GIL for the heavy draws), and
+* memoizes per-component MTTFs *and* whole system-level estimates in a
+  shared :class:`~repro.methods.base.ComponentCache`, keyed by content
+  fingerprint (give the cache a
+  :class:`~repro.methods.cache.DiskCache` and a warm rerun of a sweep
+  performs zero re-estimations),
+* fans out over a thread pool (``executor="thread"``; the NumPy
+  samplers release the GIL for the heavy draws) or a process pool
+  (``executor="process"``; true parallelism for paper-scale 1e6-trial
+  sweeps — Monte-Carlo references additionally split at *chunk*
+  granularity when ``mc_config.chunks > 1``, so even a single grid
+  point spreads across cores), and
 * returns a serializable :class:`~repro.methods.results.ResultSet`
   whose record order always matches the input order, regardless of
-  worker count.
+  worker count or executor — at fixed chunking, ``workers=1`` and
+  ``workers=N`` produce bit-identical numbers.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Iterable, Sequence
 
 from ..core.comparison import MethodComparison
-from ..core.montecarlo import MonteCarloConfig
+from ..core.montecarlo import (
+    MonteCarloConfig,
+    chunk_configs,
+    estimate_from_moments,
+    merge_moments,
+    system_chunk_moments,
+)
 from ..core.system import SystemModel
 from ..errors import ConfigurationError
+from ..reliability.metrics import MTTFEstimate
 from . import registry
 from .base import ComponentCache, MethodConfig
 from .results import ResultSet
 
 #: A design space item: a system, optionally labeled.
 SpaceItem = SystemModel | tuple[str, SystemModel]
+
+#: Supported fan-out backends.
+EXECUTORS = ("thread", "process")
 
 
 def _normalize_space(
@@ -51,12 +67,102 @@ def _normalize_space(
     return normalized
 
 
+def _estimate_task(
+    method_name: str,
+    system: SystemModel,
+    mc: MonteCarloConfig,
+    reference: str,
+) -> MTTFEstimate:
+    """Run one estimate in a worker process (top-level: picklable).
+
+    The worker rebuilds a cache-free :class:`MethodConfig`; caching
+    happens only in the parent so the shared cache needs no cross-process
+    coordination.
+    """
+    config = MethodConfig(mc=mc, reference=reference, cache=None)
+    return registry.get(method_name).estimate(system, config)
+
+
+def _process_references(
+    items: Sequence[tuple[str, SystemModel]],
+    reference_name: str,
+    reference_estimator,
+    config: MethodConfig,
+    cache: ComponentCache | None,
+    workers: int,
+) -> list[MTTFEstimate]:
+    """Reference estimates for every item via a process pool.
+
+    Cache hits are resolved in the parent; only misses are farmed out.
+    Monte-Carlo references with ``chunks > 1`` are submitted at chunk
+    granularity so one expensive grid point spreads across cores; the
+    chunk moments merge in chunk order, reproducing exactly what
+    ``monte_carlo_mttf`` computes serially.
+    """
+    mc = config.mc if reference_estimator.is_stochastic else None
+    references: list[MTTFEstimate | None] = [None] * len(items)
+    keys: list[str | None] = [None] * len(items)
+    pending: list[int] = []
+    for index, (_label, system) in enumerate(items):
+        if cache is not None:
+            keys[index] = cache.estimate_key(
+                reference_name, system, mc, reference_name
+            )
+            found = cache.lookup_estimate(keys[index])
+            if found is not None:
+                references[index] = found
+                continue
+        pending.append(index)
+    if pending:
+        chunked = (
+            reference_name == "monte_carlo" and config.mc.chunks > 1
+        )
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            if chunked:
+                chunks = chunk_configs(config.mc)
+                label = f"monte_carlo[{config.mc.method}]"
+                futures = {
+                    index: [
+                        pool.submit(
+                            system_chunk_moments, items[index][1], chunk
+                        )
+                        for chunk in chunks
+                    ]
+                    for index in pending
+                }
+                for index in pending:
+                    moments = merge_moments(
+                        [f.result() for f in futures[index]]
+                    )
+                    references[index] = estimate_from_moments(
+                        moments, label
+                    )
+            else:
+                futures = {
+                    index: pool.submit(
+                        _estimate_task,
+                        reference_name,
+                        items[index][1],
+                        config.mc,
+                        reference_name,
+                    )
+                    for index in pending
+                }
+                for index in pending:
+                    references[index] = futures[index].result()
+        if cache is not None:
+            for index in pending:
+                cache.store_estimate(keys[index], references[index])
+    return references  # type: ignore[return-value]
+
+
 def evaluate_design_space(
     space: Iterable[SpaceItem],
     methods: Sequence[str],
     reference: str = "monte_carlo",
     mc_config: MonteCarloConfig | None = None,
     workers: int = 1,
+    executor: str = "thread",
     cache: ComponentCache | bool | None = None,
     skip_unsupported: bool = False,
 ) -> ResultSet:
@@ -72,14 +178,25 @@ def evaluate_design_space(
     reference:
         Reference method name (``"monte_carlo"`` or ``"exact"``).
     mc_config:
-        Monte-Carlo settings shared by every stochastic estimate.
+        Monte-Carlo settings shared by every stochastic estimate. Set
+        ``chunks > 1`` to split each estimate into seeded sub-runs —
+        required for chunk-granular process fan-out, and the unit of
+        reproducibility: numbers depend on the chunking, never on the
+        worker count or executor.
     workers:
-        Thread-pool width; 1 (default) runs serially. Results keep the
+        Fan-out width; 1 (default) runs serially. Results keep the
         input order either way.
+    executor:
+        ``"thread"`` (default) or ``"process"``. Threads suit the
+        GIL-releasing NumPy samplers; processes buy true parallelism
+        for paper-scale sweeps. The process pool computes reference
+        estimates (the expensive part); method estimates and caching
+        stay in the parent.
     cache:
-        ``None`` (default) uses a fresh per-call component cache,
+        ``None`` (default) uses a fresh per-call cache,
         ``False`` disables memoization, or pass a
-        :class:`ComponentCache` to share across calls.
+        :class:`ComponentCache` to share across calls (optionally
+        disk-backed for cross-invocation reuse).
     skip_unsupported:
         When True, methods whose ``supports(system)`` is False are
         silently omitted from that system's record instead of raising.
@@ -89,6 +206,12 @@ def evaluate_design_space(
         raise ConfigurationError(
             f"methods must not be empty; available: {registry.available()}"
         )
+    if executor not in EXECUTORS:
+        raise ConfigurationError(
+            f"unknown executor {executor!r}; use one of {EXECUTORS}"
+        )
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
     method_names = [registry.get(name).name for name in methods]
     reference_name = registry.canonical_name(reference)
     if cache is None or cache is True:
@@ -102,9 +225,22 @@ def evaluate_design_space(
     )
     reference_estimator = registry.get(reference_name)
 
-    def evaluate_one(item: tuple[str, SystemModel]) -> MethodComparison:
+    def cached_estimate(name, estimator, system) -> MTTFEstimate:
+        mc = config.mc if estimator.is_stochastic else None
+        if cache is None:
+            return estimator.estimate(system, config)
+        return cache.get_or_compute_estimate(
+            name,
+            system,
+            mc,
+            reference_name,
+            lambda: estimator.estimate(system, config),
+        )
+
+    def finish_item(
+        item: tuple[str, SystemModel], ref: MTTFEstimate
+    ) -> MethodComparison:
         label, system = item
-        ref = reference_estimator.estimate(system, config)
         estimates = {}
         for name in method_names:
             estimator = registry.get(name)
@@ -114,12 +250,33 @@ def evaluate_design_space(
                 raise ConfigurationError(
                     f"method {name!r} does not support system {label!r}"
                 )
-            estimates[name] = estimator.estimate(system, config)
+            # The reference estimate doubles as the method estimate when
+            # the same method is also selected.
+            estimates[name] = (
+                ref
+                if name == reference_name
+                else cached_estimate(name, estimator, system)
+            )
         return MethodComparison(
             system_label=label, reference=ref, estimates=estimates
         )
 
-    if workers > 1 and len(items) > 1:
+    def evaluate_one(item: tuple[str, SystemModel]) -> MethodComparison:
+        ref = cached_estimate(
+            reference_name, reference_estimator, item[1]
+        )
+        return finish_item(item, ref)
+
+    if executor == "process":
+        references = _process_references(
+            items, reference_name, reference_estimator, config, cache,
+            workers,
+        )
+        comparisons = tuple(
+            finish_item(item, ref)
+            for item, ref in zip(items, references)
+        )
+    elif workers > 1 and len(items) > 1:
         with ThreadPoolExecutor(max_workers=workers) as pool:
             comparisons = tuple(pool.map(evaluate_one, items))
     else:

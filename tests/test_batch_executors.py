@@ -1,0 +1,152 @@
+"""Batch-engine executor tests: thread/process fan-out identity."""
+
+import pytest
+
+from repro.core import Component, MonteCarloConfig, SystemModel
+from repro.errors import ConfigurationError
+from repro.methods import ComponentCache, evaluate_design_space
+from repro.units import SECONDS_PER_DAY
+
+
+@pytest.fixture
+def cluster_space(day_profile):
+    rate = 2.0 / SECONDS_PER_DAY
+    return [
+        (
+            f"C={c}",
+            SystemModel(
+                [Component("node", rate, day_profile, multiplicity=c)]
+            ),
+        )
+        for c in (2, 8, 100)
+    ]
+
+
+class TestExecutorIdentity:
+    """workers=1 and workers=N must be numerically identical at fixed
+    chunking — for the thread executor, the process executor, and across
+    the two."""
+
+    def test_thread_workers_match_serial(self, cluster_space):
+        mc = MonteCarloConfig(trials=2_000, seed=3, chunks=2)
+        serial = evaluate_design_space(
+            cluster_space, methods=["sofr_only"], mc_config=mc
+        )
+        threaded = evaluate_design_space(
+            cluster_space, methods=["sofr_only"], mc_config=mc,
+            workers=4,
+        )
+        assert serial == threaded
+
+    def test_process_workers_match_serial(self, cluster_space):
+        mc = MonteCarloConfig(trials=2_000, seed=3, chunks=2)
+        serial = evaluate_design_space(
+            cluster_space, methods=["sofr_only"], mc_config=mc
+        )
+        processed = evaluate_design_space(
+            cluster_space,
+            methods=["sofr_only"],
+            mc_config=mc,
+            workers=2,
+            executor="process",
+        )
+        assert serial == processed
+
+    def test_process_single_worker_matches_many(self, cluster_space):
+        mc = MonteCarloConfig(trials=1_500, seed=7, chunks=3)
+        one = evaluate_design_space(
+            cluster_space,
+            methods=["first_principles"],
+            mc_config=mc,
+            workers=1,
+            executor="process",
+        )
+        many = evaluate_design_space(
+            cluster_space,
+            methods=["first_principles"],
+            mc_config=mc,
+            workers=3,
+            executor="process",
+        )
+        assert one == many
+
+    def test_process_unchunked_matches_serial(self, cluster_space):
+        # chunks=1: the process pool parallelises across grid points
+        # only; numbers still match the serial run exactly.
+        mc = MonteCarloConfig(trials=2_000, seed=5)
+        serial = evaluate_design_space(
+            cluster_space, methods=["sofr_only"], mc_config=mc
+        )
+        processed = evaluate_design_space(
+            cluster_space,
+            methods=["sofr_only"],
+            mc_config=mc,
+            workers=2,
+            executor="process",
+        )
+        assert serial == processed
+
+    def test_exact_reference_through_process_pool(self, cluster_space):
+        serial = evaluate_design_space(
+            cluster_space,
+            methods=["avf_sofr"],
+            reference="exact",
+        )
+        processed = evaluate_design_space(
+            cluster_space,
+            methods=["avf_sofr"],
+            reference="exact",
+            workers=2,
+            executor="process",
+        )
+        assert serial == processed
+
+
+class TestExecutorValidation:
+    def test_unknown_executor_rejected(self, cluster_space):
+        with pytest.raises(ConfigurationError, match="executor"):
+            evaluate_design_space(
+                cluster_space, methods=["avf_sofr"], executor="fiber"
+            )
+
+    def test_nonpositive_workers_rejected(self, cluster_space):
+        with pytest.raises(ConfigurationError, match="workers"):
+            evaluate_design_space(
+                cluster_space, methods=["avf_sofr"], workers=0
+            )
+
+
+class TestEngineSemantics:
+    def test_reference_estimate_reused_when_also_selected(
+        self, cluster_space
+    ):
+        result = evaluate_design_space(
+            cluster_space,
+            methods=["first_principles", "avf_sofr"],
+            reference="exact",
+        )
+        for comparison in result:
+            assert comparison.estimates["first_principles"] is (
+                comparison.reference
+            )
+
+    def test_process_pool_skips_cached_references(self, cluster_space):
+        mc = MonteCarloConfig(trials=1_000, seed=1)
+        cache = ComponentCache()
+        evaluate_design_space(
+            cluster_space,
+            methods=["first_principles"],
+            mc_config=mc,
+            cache=cache,
+        )
+        hits_before = cache.estimate_hits
+        again = evaluate_design_space(
+            cluster_space,
+            methods=["first_principles"],
+            mc_config=mc,
+            cache=cache,
+            workers=2,
+            executor="process",
+        )
+        assert cache.estimate_hits > hits_before
+        assert len(again) == len(cluster_space)

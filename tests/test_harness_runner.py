@@ -27,3 +27,33 @@ class TestRunnerCli:
         content = report.read_text()
         assert content.startswith("# Experiment results")
         assert "table2" in content
+
+    def test_parallel_flags_accepted(self, capsys):
+        assert main(
+            [
+                "ablation.convergence", "--trials", "500",
+                "--workers", "2", "--executor", "process",
+                "--mc-chunks", "2",
+            ]
+        ) == 0
+        assert "completed in" in capsys.readouterr().out
+
+    def test_cache_dir_warm_rerun_hits(self, tmp_path, capsys):
+        args = [
+            "ablation.hybrid", "--cache-dir", str(tmp_path / "cache")
+        ]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "estimate cache" in cold and "disk_hits=0" in cold
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "misses=0" in warm
+
+    def test_every_experiment_emits_result_set(self, tmp_path, capsys):
+        # --json on a cheap, closed-form experiment: the merged set must
+        # be written (every experiment now carries a result_set).
+        out = tmp_path / "rs.json"
+        assert main(["table2", "--json", str(out)]) == 0
+        from repro.methods import ResultSet
+
+        assert len(ResultSet.from_json(out)) > 0
