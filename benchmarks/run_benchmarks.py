@@ -1,0 +1,219 @@
+"""Timing benchmark runner: the repository's performance trajectory.
+
+Times a representative slice of the estimation engine — serial vs
+fanned-out sweeps, fixed-count vs adaptive Monte Carlo, cold vs warm
+cache — and writes the measurements to ``BENCH_<rev>.json`` so the
+perf impact of engine changes is a diffable artifact, not an anecdote::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py
+    PYTHONPATH=src python benchmarks/run_benchmarks.py \\
+        --output-dir benchmarks --trials 100000 --repeat 3
+
+Each case records best-of-``--repeat`` wall time plus enough metadata
+(trials, chunking, workers, executor, point count, reference trial
+counts for adaptive runs) to interpret a regression. Defaults are sized
+to finish in well under a minute; raise ``--trials`` for paper-scale
+numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core import Component, MonteCarloConfig, StoppingRule, SystemModel
+from repro.masking import busy_idle_profile
+from repro.methods import DiskCache, ComponentCache, evaluate_design_space
+from repro.units import SECONDS_PER_DAY
+
+
+def repo_revision() -> str:
+    """Short git revision, or 'worktree' outside a repository."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=Path(__file__).resolve().parent,
+            timeout=10,
+        )
+    except OSError:
+        return "worktree"
+    return out.stdout.strip() if out.returncode == 0 else "worktree"
+
+
+def _cluster_space(points: int):
+    profile = busy_idle_profile(0.5 * SECONDS_PER_DAY, SECONDS_PER_DAY)
+    rate = 2.0 / SECONDS_PER_DAY
+    counts = [2, 8, 100, 5000, 50000]
+    return [
+        (
+            f"day/C={counts[i % len(counts)]}/v={i}",
+            SystemModel(
+                [
+                    Component(
+                        "node",
+                        rate * (1.0 + 0.01 * i),
+                        profile,
+                        multiplicity=counts[i % len(counts)],
+                    )
+                ]
+            ),
+        )
+        for i in range(points)
+    ]
+
+
+def _timed(fn, repeat: int) -> tuple[float, object]:
+    """Best-of-``repeat`` wall time and the last return value."""
+    best = float("inf")
+    value = None
+    for _ in range(repeat):
+        started = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, value
+
+
+def benchmark_cases(trials: int, points: int, workers: int):
+    """(name, metadata, thunk) for every timed case."""
+    space = _cluster_space(points)
+    fixed = MonteCarloConfig(trials=trials, seed=7, chunks=8)
+    adaptive = MonteCarloConfig(
+        trials=trials,
+        seed=7,
+        chunks=8,
+        stopping=StoppingRule(target_rel_stderr=0.02),
+    )
+    run = lambda **kw: evaluate_design_space(
+        space, methods=["sofr_only", "first_principles"], **kw
+    )
+    cases = [
+        (
+            "sweep_serial_fixed",
+            {"trials": trials, "chunks": 8, "workers": 1,
+             "executor": "thread"},
+            lambda: run(mc_config=fixed, cache=False),
+        ),
+        (
+            "sweep_threads_fixed",
+            {"trials": trials, "chunks": 8, "workers": workers,
+             "executor": "thread"},
+            lambda: run(mc_config=fixed, workers=workers, cache=False),
+        ),
+        (
+            "sweep_process_streaming_fixed",
+            {"trials": trials, "chunks": 8, "workers": workers,
+             "executor": "process"},
+            lambda: run(
+                mc_config=fixed, workers=workers, executor="process",
+                cache=False,
+            ),
+        ),
+        (
+            "sweep_serial_adaptive_2pct",
+            {"trials": trials, "chunks": 8, "workers": 1,
+             "executor": "thread", "target_rel_stderr": 0.02},
+            lambda: run(mc_config=adaptive, cache=False),
+        ),
+        (
+            "sweep_process_streaming_adaptive_2pct",
+            {"trials": trials, "chunks": 8, "workers": workers,
+             "executor": "process", "target_rel_stderr": 0.02},
+            lambda: run(
+                mc_config=adaptive, workers=workers, executor="process",
+                cache=False,
+            ),
+        ),
+    ]
+    return cases
+
+
+def run_benchmarks(argv: list[str] | None = None) -> Path:
+    parser = argparse.ArgumentParser(
+        description="Time the estimation engine; write BENCH_<rev>.json"
+    )
+    parser.add_argument("--trials", type=int, default=40_000)
+    parser.add_argument("--points", type=int, default=6)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--repeat", type=int, default=2)
+    parser.add_argument(
+        "--output-dir", default=".", help="where BENCH_<rev>.json lands"
+    )
+    parser.add_argument(
+        "--rev",
+        default=None,
+        help="revision label for the artifact (default: git short rev; "
+        "pass an explicit label when measuring an uncommitted tree)",
+    )
+    args = parser.parse_args(argv)
+
+    rev = args.rev or repo_revision()
+    results = []
+    for name, metadata, thunk in benchmark_cases(
+        args.trials, args.points, args.workers
+    ):
+        seconds, result_set = _timed(thunk, args.repeat)
+        record = {"name": name, "seconds": round(seconds, 4), **metadata}
+        if "adaptive" in name:
+            trials_used = list(result_set.reference_trials().values())
+            record["reference_trials"] = {
+                "min": min(trials_used),
+                "max": max(trials_used),
+                "total": sum(trials_used),
+            }
+        results.append(record)
+        print(f"{name:44s} {seconds:8.3f}s")
+
+    # Cold vs warm disk cache on the same sweep (one repeat each; the
+    # warm number is the content-addressed lookup overhead).
+    space = _cluster_space(args.points)
+    mc = MonteCarloConfig(trials=args.trials, seed=7, chunks=8)
+    with tempfile.TemporaryDirectory(prefix="bench-cache-") as cache_dir:
+        for phase in ("cold", "warm"):
+            cache = ComponentCache(disk=DiskCache(cache_dir))
+            seconds, _ = _timed(
+                lambda: evaluate_design_space(
+                    space, methods=["sofr_only"], mc_config=mc,
+                    cache=cache,
+                ),
+                1,
+            )
+            results.append(
+                {
+                    "name": f"sweep_disk_cache_{phase}",
+                    "seconds": round(seconds, 4),
+                    "trials": args.trials,
+                    "chunks": 8,
+                    "entries": len(cache),
+                }
+            )
+            print(f"sweep_disk_cache_{phase:39s} {seconds:8.3f}s")
+
+    payload = {
+        "schema": "repro.bench/v1",
+        "revision": rev,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "config": {
+            "trials": args.trials,
+            "points": args.points,
+            "workers": args.workers,
+            "repeat": args.repeat,
+        },
+        "results": results,
+    }
+    output = Path(args.output_dir) / f"BENCH_{rev}.json"
+    output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {output}")
+    return output
+
+
+if __name__ == "__main__":
+    sys.exit(0 if run_benchmarks() else 1)

@@ -64,6 +64,7 @@ from .core import (
     MonteCarloConfig,
     PAPER_TRIAL_COUNT,
     Regime,
+    StoppingRule,
     SystemModel,
     ValidityReport,
     avf_mttf,
@@ -125,6 +126,7 @@ __all__ = [
     "methods",
     "register_method",
     "MonteCarloConfig",
+    "StoppingRule",
     "PAPER_TRIAL_COUNT",
     "Regime",
     "SystemModel",

@@ -37,9 +37,13 @@ from .firstprinciples import (
 )
 from .montecarlo import (
     ARRIVAL_INSTANCE_LIMIT,
+    MomentAccumulator,
     MonteCarloConfig,
     PAPER_TRIAL_COUNT,
     SampleMoments,
+    StoppingRule,
+    accumulate_chunks,
+    adaptive_chunk_configs,
     chunk_configs,
     component_chunk_moments,
     estimate_from_moments,
@@ -93,9 +97,13 @@ __all__ = [
     "exact_system_process",
     "first_principles_mttf",
     "ARRIVAL_INSTANCE_LIMIT",
+    "MomentAccumulator",
     "MonteCarloConfig",
     "PAPER_TRIAL_COUNT",
     "SampleMoments",
+    "StoppingRule",
+    "accumulate_chunks",
+    "adaptive_chunk_configs",
     "chunk_configs",
     "component_chunk_moments",
     "estimate_from_moments",

@@ -26,7 +26,7 @@ from typing import Iterable, Mapping, Sequence
 
 from ..errors import DesignSpaceError
 from ..masking.profile import VulnerabilityProfile
-from ..reliability.metrics import signed_relative_error
+from ..reliability.metrics import achieved_rel_stderr, signed_relative_error
 from ..ser.rates import component_rate_per_second
 from .montecarlo import MonteCarloConfig
 from .system import Component, SystemModel
@@ -71,7 +71,13 @@ class DesignPoint:
 
 @dataclass(frozen=True)
 class SweepResult:
-    """Method MTTFs and errors at one design point (times in seconds)."""
+    """Method MTTFs and errors at one design point (times in seconds).
+
+    ``monte_carlo_trials`` records how many trials actually produced the
+    reference — under an adaptive stopping rule this varies per point,
+    and together with ``monte_carlo_stderr`` it is the audit trail of
+    what precision each grid point reached.
+    """
 
     point: DesignPoint
     monte_carlo_mttf: float
@@ -81,6 +87,14 @@ class SweepResult:
     sofr_only_mttf: float | None = None
     first_principles_mttf: float | None = None
     softarch_mttf: float | None = None
+    monte_carlo_trials: int = 0
+
+    @property
+    def monte_carlo_rel_stderr(self) -> float:
+        """Achieved relative stderr of the reference at this point."""
+        return achieved_rel_stderr(
+            self.monte_carlo_mttf, self.monte_carlo_stderr
+        )
 
     def _error(self, value: float | None) -> float | None:
         if value is None or not math.isfinite(self.monte_carlo_mttf):
@@ -148,13 +162,18 @@ def component_sweep(
     workers: int = 1,
     executor: str = "thread",
     cache=None,
+    shard: tuple[int, int] | None = None,
+    progress=None,
 ) -> SweepOutcome:
     """AVF-step sweep: single component (C = 1), as in Figure 5 / §5.2.
 
     Since only the product ``N x S`` matters for a single component
     (Section 5.2), points are parameterised by it directly.
+    ``shard=(i, n)`` evaluates this machine's round-robin share of the
+    grid (the outcome's ``result_set`` records the shard and merges
+    back with :func:`repro.methods.merge_result_sets`).
     """
-    from ..methods import evaluate_design_space
+    from ..methods import evaluate_design_space, shard_select
 
     methods = ["avf", "first_principles"]
     if include_softarch:
@@ -183,6 +202,8 @@ def component_sweep(
         workers=workers,
         executor=executor,
         cache=cache,
+        shard=shard,
+        progress=progress,
     )
     results = [
         SweepResult(
@@ -194,8 +215,9 @@ def component_sweep(
                 comparison, "first_principles"
             ),
             softarch_mttf=_mttf_or_none(comparison, "softarch"),
+            monte_carlo_trials=comparison.reference.trials,
         )
-        for point, comparison in zip(points, result_set)
+        for point, comparison in zip(shard_select(points, shard), result_set)
     ]
     return SweepOutcome(results, result_set)
 
@@ -209,6 +231,8 @@ def system_sweep(
     workers: int = 1,
     executor: str = "thread",
     cache=None,
+    shard: tuple[int, int] | None = None,
+    progress=None,
 ) -> SweepOutcome:
     """SOFR-step sweep over (workload, N x S, C), as in Figure 6.
 
@@ -217,9 +241,10 @@ def system_sweep(
     engine's component cache computes each distinct (workload, N x S)
     component once and re-uses it for every C. Every system here is
     homogeneous (C identical components), matching the paper's cluster
-    experiments.
+    experiments. ``shard``/``progress`` behave as in
+    :func:`component_sweep`.
     """
-    from ..methods import evaluate_design_space
+    from ..methods import evaluate_design_space, shard_select
 
     methods = ["sofr_only", "first_principles"]
     if include_softarch:
@@ -261,6 +286,8 @@ def system_sweep(
         workers=workers,
         executor=executor,
         cache=cache,
+        shard=shard,
+        progress=progress,
     )
     results = [
         SweepResult(
@@ -273,8 +300,9 @@ def system_sweep(
                 comparison, "first_principles"
             ),
             softarch_mttf=_mttf_or_none(comparison, "softarch"),
+            monte_carlo_trials=comparison.reference.trials,
         )
-        for point, comparison in zip(points, result_set)
+        for point, comparison in zip(shard_select(points, shard), result_set)
     ]
     return SweepOutcome(results, result_set)
 

@@ -29,6 +29,7 @@ Defaults are sized to finish in seconds; the paper-scale knobs
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import zlib
 
@@ -36,9 +37,14 @@ from ..analytical.busy_idle import figure3_curves
 from ..analytical.sofr_halfnormal import figure4_curve
 from ..core.comparison import MethodComparison
 from ..core.designspace import component_sweep, system_sweep, table2_points
-from ..core.montecarlo import MonteCarloConfig
+from ..core.montecarlo import MonteCarloConfig, StoppingRule
 from ..core.system import Component, SystemModel
-from ..methods import ResultSet, canonical_name, evaluate_design_space
+from ..methods import (
+    ResultSet,
+    canonical_name,
+    evaluate_design_space,
+    shard_select,
+)
 from ..masking.profile import VulnerabilityProfile
 from ..microarch.config import MachineConfig
 from ..reliability.metrics import MTTFEstimate, signed_relative_error
@@ -71,16 +77,39 @@ COMBINED_PAIR = ("gzip", "swim")
 
 
 def _mc_config(
-    trials: int | None, seed: int = 0, chunks: int = 1
+    trials: int | None,
+    seed: int = 0,
+    chunks: int = 1,
+    target_stderr: float | None = None,
 ) -> MonteCarloConfig:
+    """Monte-Carlo settings for one experiment run.
+
+    ``target_stderr`` (the CLI's ``--target-stderr``) attaches a
+    :class:`StoppingRule`: the run becomes adaptive, scheduling trial
+    chunks only until the estimate's relative stderr meets the target,
+    with the configured trial count as the budget.
+    """
+    stopping = (
+        StoppingRule(target_rel_stderr=target_stderr)
+        if target_stderr is not None
+        else None
+    )
     return MonteCarloConfig(
-        trials=trials or DEFAULT_TRIALS, seed=seed, chunks=chunks
+        trials=trials or DEFAULT_TRIALS,
+        seed=seed,
+        chunks=chunks,
+        stopping=stopping,
     )
 
 
 def _bench_seed(bench: str) -> int:
     """Stable per-benchmark seed (``hash(str)`` is process-randomized)."""
     return zlib.crc32(bench.encode("utf-8"))
+
+
+def _shard_suffix(shard: tuple[int, int] | None) -> str:
+    """Headline qualifier so per-shard logs never read as full-grid."""
+    return "" if shard is None else f" [shard {shard[0]}/{shard[1]} only]"
 
 
 def _synthesized_workloads(
@@ -406,6 +435,7 @@ def run_sec51(
     executor: str = "thread",
     cache_dir: str | None = None,
     mc_chunks: int = 1,
+    target_stderr: float | None = None,
     **_,
 ):
     benchmarks = benchmarks or REPRESENTATIVE_SPEC
@@ -425,7 +455,10 @@ def run_sec51(
     merged: ResultSet | None = None
     for bench in benchmarks:
         system = spec_uniprocessor_system(bench)
-        mc = _mc_config(trials, seed=_bench_seed(bench), chunks=mc_chunks)
+        mc = _mc_config(
+            trials, seed=_bench_seed(bench), chunks=mc_chunks,
+            target_stderr=target_stderr,
+        )
         # Component level: AVF step and MC consistency vs the closed form,
         # one single-component system per unit.
         component_set = evaluate_design_space(
@@ -507,6 +540,8 @@ def run_sec52(
     workers: int = 1,
     executor: str = "thread",
     cache_dir: str | None = None,
+    shard: tuple[int, int] | None = None,
+    progress=None,
     **_,
 ):
     benchmarks = benchmarks or REPRESENTATIVE_SPEC
@@ -536,10 +571,12 @@ def run_sec52(
         workers=workers,
         executor=executor,
         cache=cache,
+        shard=shard,
+        progress=progress,
     )
     worst = 0.0
     for (label, _system), mass, comparison in zip(
-        space, masses, result_set
+        shard_select(space, shard), shard_select(masses, shard), result_set
     ):
         bench, n_label = label.split("/NxS=")
         error = comparison.error("avf")
@@ -553,7 +590,7 @@ def run_sec52(
         tables=[table],
         headline=f"worst AVF-step error {worst:.4%} across "
         f"{len(benchmarks)} benchmarks x {len(n_times_s_values)} N*S "
-        "points",
+        f"points{_shard_suffix(shard)}",
         notes=cache_note(
             [
                 "SPEC loop lengths are milliseconds, so lambda*V(L) stays "
@@ -579,6 +616,9 @@ def run_fig5(
     executor: str = "thread",
     cache_dir: str | None = None,
     mc_chunks: int = 1,
+    target_stderr: float | None = None,
+    shard: tuple[int, int] | None = None,
+    progress=None,
     **_,
 ):
     workloads = _synthesized_workloads()
@@ -586,10 +626,12 @@ def run_fig5(
     results = component_sweep(
         workloads,
         n_times_s_values,
-        _mc_config(trials, chunks=mc_chunks),
+        _mc_config(trials, chunks=mc_chunks, target_stderr=target_stderr),
         workers=workers,
         executor=executor,
         cache=cache,
+        shard=shard,
+        progress=progress,
     )
     table = Table(
         "Figure 5: AVF-step error vs Monte Carlo, synthesized workloads",
@@ -606,12 +648,20 @@ def run_fig5(
             percent(error),
         )
         series[res.point.workload].append(error)
-    figure = render_series(
-        "Figure 5 (reproduced): signed AVF error vs Monte Carlo",
-        [f"{v:g}" for v in n_times_s_values],
-        series,
+    # A shard holds only its share of each series; the cross-grid
+    # figure is rendered by the merged (or unsharded) run.
+    figures = (
+        [
+            render_series(
+                "Figure 5 (reproduced): signed AVF error vs Monte Carlo",
+                [f"{v:g}" for v in n_times_s_values],
+                series,
+            )
+        ]
+        if shard is None
+        else []
     )
-    peak = max(abs(r.avf_error) for r in results)
+    peak = max((abs(r.avf_error) for r in results), default=0.0)
     big = [
         r for r in results
         if r.point.n_times_s >= 1e9 and abs(r.avf_error) > 0.01
@@ -622,9 +672,9 @@ def run_fig5(
         paper_claim="significant errors (up to ~90%) once N x S >= 1e9; "
         "sign varies by workload.",
         tables=[table],
-        figures=[figure],
+        figures=figures,
         headline=f"peak |error| {peak:.0%}; {len(big)} points with "
-        ">1% error at N x S >= 1e9",
+        f">1% error at N x S >= 1e9{_shard_suffix(shard)}",
         notes=cache_note([], cache, cache_dir),
         result_set=results.result_set,
     )
@@ -644,6 +694,9 @@ def run_fig6a(
     executor: str = "thread",
     cache_dir: str | None = None,
     mc_chunks: int = 1,
+    target_stderr: float | None = None,
+    shard: tuple[int, int] | None = None,
+    progress=None,
     **_,
 ):
     workloads = {
@@ -655,10 +708,12 @@ def run_fig6a(
         workloads,
         n_times_s_values,
         component_counts,
-        _mc_config(trials, chunks=mc_chunks),
+        _mc_config(trials, chunks=mc_chunks, target_stderr=target_stderr),
         workers=workers,
         executor=executor,
         cache=cache,
+        shard=shard,
+        progress=progress,
     )
     table = Table(
         "Figure 6(a): SOFR-step error vs Monte Carlo, SPEC workloads "
@@ -688,7 +743,8 @@ def run_fig6a(
         "errors only for C >= 5000 with very large N x S (>= ~2e12).",
         tables=[table],
         headline=f"C<=8 worst error {safe_worst:.2%}; overall worst "
-        f"{worst:.0%} at the largest C x (N x S) corner",
+        f"{worst:.0%} at the largest C x (N x S) corner"
+        f"{_shard_suffix(shard)}",
         notes=cache_note(
             [
                 "Profiles are time-dilated to the paper's 1e8-instruction "
@@ -710,6 +766,9 @@ def run_fig6b(
     executor: str = "thread",
     cache_dir: str | None = None,
     mc_chunks: int = 1,
+    target_stderr: float | None = None,
+    shard: tuple[int, int] | None = None,
+    progress=None,
     **_,
 ):
     workloads = _synthesized_workloads()
@@ -740,7 +799,10 @@ def run_fig6b(
                 )
                 meta.append((name, n_times_s, c_count))
     cache = make_cache(cache_dir)
-    engine = dict(workers=workers, executor=executor, cache=cache)
+    engine = dict(
+        workers=workers, executor=executor, cache=cache, shard=shard,
+        progress=progress,
+    )
     # Zero-phase pass: the SOFR step (fed zero-phase MC component MTTFs,
     # memoized once per distinct component across every C) against the
     # zero-phase Monte-Carlo reference.
@@ -748,7 +810,9 @@ def run_fig6b(
         space,
         methods=["sofr_only"],
         reference="monte_carlo",
-        mc_config=_mc_config(trials, chunks=mc_chunks),
+        mc_config=_mc_config(
+            trials, chunks=mc_chunks, target_stderr=target_stderr
+        ),
         **engine,
     )
     # Random-phase pass: only the reference changes convention; the SOFR
@@ -758,17 +822,18 @@ def run_fig6b(
         [(f"{label}/phase=random", system) for label, system in space],
         methods=["first_principles"],
         reference="monte_carlo",
-        mc_config=MonteCarloConfig(
-            trials=trials or DEFAULT_TRIALS,
-            seed=1,
+        mc_config=dataclasses.replace(
+            _mc_config(
+                trials, seed=1, chunks=mc_chunks,
+                target_stderr=target_stderr,
+            ),
             start_phase="random",
-            chunks=mc_chunks,
         ),
         **engine,
     )
     key_points: dict = {}
     for (name, n_times_s, c_count), zero_cmp, random_cmp in zip(
-        meta, zero_set, random_set
+        shard_select(meta, shard), zero_set, random_set
     ):
         sofr = zero_cmp.estimates["sofr_only"].mttf_seconds
         mc_zero = zero_cmp.reference.mttf_seconds
@@ -806,8 +871,15 @@ def run_fig6b(
         paper_claim="day@N=1e8: 11% (C=5000) and 50% (C=50000); week: "
         "32% and 80%; combined smaller but still significant.",
         tables=[table],
-        headline="; ".join(headline_bits)
-        or "see table (paper key points reproduced)",
+        headline=(
+            "; ".join(headline_bits)
+            or (
+                "see table (paper key points reproduced)"
+                if shard is None
+                else "see table"
+            )
+        )
+        + _shard_suffix(shard),
         notes=cache_note(
             [
                 "Two loop-phase conventions are reported: 'zero' starts "
@@ -842,6 +914,7 @@ def run_compare(
     executor: str = "thread",
     cache_dir: str | None = None,
     mc_chunks: int = 1,
+    target_stderr: float | None = None,
     **_,
 ):
     """Compare any registered methods on the SPEC uniprocessor systems.
@@ -873,7 +946,8 @@ def run_compare(
             methods=methods,
             reference=reference,
             mc_config=_mc_config(
-                trials, seed=_bench_seed(bench), chunks=mc_chunks
+                trials, seed=_bench_seed(bench), chunks=mc_chunks,
+                target_stderr=target_stderr,
             ),
             workers=workers,
             executor=executor,
@@ -914,6 +988,9 @@ def run_sec54(
     executor: str = "thread",
     cache_dir: str | None = None,
     mc_chunks: int = 1,
+    target_stderr: float | None = None,
+    shard: tuple[int, int] | None = None,
+    progress=None,
     **_,
 ):
     workloads = _synthesized_workloads()
@@ -947,10 +1024,14 @@ def run_sec54(
         space,
         methods=["softarch", "first_principles"],
         reference="monte_carlo",
-        mc_config=_mc_config(trials, chunks=mc_chunks),
+        mc_config=_mc_config(
+            trials, chunks=mc_chunks, target_stderr=target_stderr
+        ),
         workers=workers,
         executor=executor,
         cache=cache,
+        shard=shard,
+        progress=progress,
     )
     table = Table(
         "Section 5.4: SoftArch error vs Monte Carlo / exact",
@@ -958,7 +1039,9 @@ def run_sec54(
          "SoftArch vs MC (sigma)"],
     )
     worst_exact = 0.0
-    for (name, n_times_s, c_count), comparison in zip(meta, result_set):
+    for (name, n_times_s, c_count), comparison in zip(
+        shard_select(meta, shard), result_set
+    ):
         sa = comparison.estimates["softarch"].mttf_seconds
         exact = comparison.estimates["first_principles"].mttf_seconds
         vs_exact = signed_relative_error(sa, exact)
@@ -981,7 +1064,7 @@ def run_sec54(
         tables=[table],
         headline=f"worst SoftArch-vs-exact error {worst_exact:.2e} "
         "(all points far inside the paper's 1%/2% bounds); deviations "
-        "from MC are pure sampling noise",
+        f"from MC are pure sampling noise{_shard_suffix(shard)}",
         notes=cache_note([], cache, cache_dir),
         result_set=result_set,
     )

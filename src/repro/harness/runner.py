@@ -10,6 +10,13 @@ Usage::
         --reference exact --json compare.json
     repro-experiments fig5 --executor process --workers 8 \\
         --mc-chunks 16 --cache-dir ~/.cache/repro
+    repro-experiments fig5 --trials 1000000 --mc-chunks 32 \\
+        --target-stderr 0.01 --progress
+    repro-experiments fig5 --shard 0/2 --cache-dir /shared/cache \\
+        --json shard0.json   # machine A
+    repro-experiments fig5 --shard 1/2 --cache-dir /shared/cache \\
+        --json shard1.json   # machine B
+    repro-experiments merge shard0.json shard1.json --json full.json
 
 ``--json`` writes the machine-readable
 :class:`~repro.methods.results.ResultSet` behind the run (loadable with
@@ -21,6 +28,15 @@ Monte-Carlo estimate into seeded chunks (numbers depend on the chunking,
 never the worker count), and ``--cache-dir`` persists every estimate in
 a content-addressed on-disk cache so repeated invocations skip
 re-estimation entirely.
+
+The streaming engine adds three scaling controls: ``--target-stderr``
+makes Monte-Carlo references adaptive (chunks are scheduled only until
+the relative standard error meets the target, with ``--trials`` as the
+budget), ``--shard i/N`` evaluates one machine's deterministic share of
+a sweep (run every shard against one shared ``--cache-dir``, then
+``merge`` the per-shard ``--json`` artifacts into the exact unsharded
+result), and ``--progress`` streams per-point progress lines to stderr
+as chunk moments merge.
 """
 
 from __future__ import annotations
@@ -32,6 +48,85 @@ import time
 from .registry import all_experiments, get_experiment
 
 
+def parse_shard(text: str) -> tuple[int, int]:
+    """Parse the CLI's ``i/N`` shard syntax into ``(i, N)``."""
+    from ..errors import ConfigurationError
+    from ..methods.results import validate_shard
+
+    try:
+        return validate_shard(text.split("/", 1))
+    except ConfigurationError:
+        raise argparse.ArgumentTypeError(
+            f"shard must look like 'i/N' with 0 <= i < N (e.g. 0/4), "
+            f"got {text!r}"
+        ) from None
+
+
+class ProgressReporter:
+    """Prints the engine's per-point progress events to stderr.
+
+    One line per event, prefixed so sweeps driven by schedulers/tmux
+    stay greppable::
+
+        [progress] day/NxS=1e+10 chunk 3/16 trials=30000 rel_se=1.42%
+        [progress] day/NxS=1e+10 done trials=40000 rel_se=0.97% (early)
+    """
+
+    def __init__(self, stream=None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.events = 0
+
+    def __call__(self, event) -> None:
+        self.events += 1
+        parts = [f"[progress] {event.label}"]
+        if event.kind == "point-start":
+            parts.append("start")
+            if event.total_chunks:
+                parts.append(f"chunks={event.total_chunks}")
+        elif event.kind == "chunk":
+            parts.append(
+                f"chunk {event.merged_chunks}/{event.total_chunks}"
+            )
+            parts.append(f"trials={event.trials}")
+        else:
+            parts.append("done")
+            parts.append(f"trials={event.trials}")
+        if event.rel_stderr is not None:
+            parts.append(f"rel_se={event.rel_stderr:.2%}")
+        if event.stopped_early:
+            parts.append("(early)")
+        if event.cached:
+            parts.append("(cached)")
+        print(" ".join(parts), file=self.stream)
+
+
+def run_merge(args) -> int:
+    """The ``merge`` command: reassemble per-shard ``--json`` artifacts."""
+    from ..methods import ResultSet, merge_result_sets
+
+    if not args.artifacts:
+        print("merge needs at least one shard JSON file", file=sys.stderr)
+        return 1
+    if not args.json:
+        print("merge needs --json OUT for the merged set", file=sys.stderr)
+        return 1
+    from ..errors import ConfigurationError
+
+    try:
+        shards = [ResultSet.from_json(path) for path in args.artifacts]
+        merged = merge_result_sets(shards)
+    except (OSError, ValueError, ConfigurationError) as error:
+        print(f"merge failed: {error}", file=sys.stderr)
+        return 1
+    merged.to_json(args.json)
+    count = shards[0].shard[1] if shards[0].shard else len(shards)
+    print(
+        f"merged {len(shards)} shard(s) (/{count}) -> {len(merged)} "
+        f"points written to {args.json}"
+    )
+    return 0
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -40,7 +135,9 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "artifacts",
         nargs="*",
-        help="artifact ids to run (e.g. fig3 sec5.1); see --list",
+        help="artifact ids to run (e.g. fig3 sec5.1); see --list. "
+        "The special first argument 'merge' instead merges per-shard "
+        "ResultSet JSON files: merge SHARD.json... --json OUT.json",
     )
     parser.add_argument(
         "--list", action="store_true", help="list available experiments"
@@ -88,10 +185,40 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--mc-chunks",
         type=int,
-        default=1,
+        default=None,
         metavar="K",
         help="split each Monte-Carlo estimate into K seeded chunks "
-        "(enables chunk-granular process fan-out; default: 1)",
+        "(the unit of both process fan-out and adaptive stopping; "
+        "default: 1, or 16 when --target-stderr is set — the rule can "
+        "only stop at chunk boundaries)",
+    )
+    parser.add_argument(
+        "--target-stderr",
+        type=float,
+        default=None,
+        metavar="REL",
+        help="adaptive precision: schedule Monte-Carlo chunks only "
+        "until the estimate's relative standard error is <= REL "
+        "(e.g. 0.01 for 1%%); --trials is the budget and --mc-chunks "
+        "the stopping granularity. Recorded trial counts and achieved "
+        "stderr land in the --json artifact.",
+    )
+    parser.add_argument(
+        "--shard",
+        type=parse_shard,
+        default=None,
+        metavar="I/N",
+        help="evaluate only this machine's deterministic share of each "
+        "sweep (honoured by the sweep experiments: fig5, fig6a, fig6b, "
+        "sec5.2, sec5.4); merge the per-shard --json artifacts with "
+        "'repro-experiments merge'. fig6b splits its computation but "
+        "its two-pass artifact is not merge-able (merge fails loudly).",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream per-point progress lines to stderr as trial "
+        "chunks merge",
     )
     parser.add_argument(
         "--cache-dir",
@@ -119,6 +246,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+
+    if args.artifacts and args.artifacts[0] == "merge":
+        args.artifacts = args.artifacts[1:]
+        return run_merge(args)
+
     experiments = all_experiments()
 
     if args.list or (not args.artifacts and not args.all):
@@ -127,13 +259,29 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {artifact:24s} {experiment.title}")
         return 0
 
+    # Adaptive stopping happens at chunk boundaries, so --target-stderr
+    # with a single monolithic chunk could never stop early; give it a
+    # useful default granularity unless the user chose one.
+    if args.mc_chunks is None:
+        args.mc_chunks = 16 if args.target_stderr is not None else 1
+        if args.target_stderr is not None:
+            print(
+                "note: --target-stderr without --mc-chunks; using 16 "
+                "chunks as the stopping granularity",
+                file=sys.stderr,
+            )
+
     run_kwargs: dict = {
         "trials": args.trials,
         "workers": args.workers,
         "executor": args.executor,
         "cache_dir": args.cache_dir,
         "mc_chunks": args.mc_chunks,
+        "target_stderr": args.target_stderr,
+        "shard": args.shard,
     }
+    if args.progress:
+        run_kwargs["progress"] = ProgressReporter()
     if args.methods:
         run_kwargs["methods"] = tuple(args.methods)
     if args.reference:

@@ -30,9 +30,11 @@ from .registry import (
     unregister,
 )
 from . import adapters as _adapters  # noqa: F401 - populates the registry
-from .batch import evaluate_design_space
+from . import uncore as _uncore  # noqa: F401 - registers uncore_ecc
+from .batch import evaluate_design_space, shard_select
 from .facade import Analysis, analyze
-from .results import ResultSet
+from .progress import ProgressEvent
+from .results import ResultSet, merge_result_sets
 
 __all__ = [
     "Analysis",
@@ -41,6 +43,7 @@ __all__ = [
     "Estimator",
     "FunctionEstimator",
     "MethodConfig",
+    "ProgressEvent",
     "ResultSet",
     "all_methods",
     "analyze",
@@ -49,7 +52,9 @@ __all__ = [
     "estimate",
     "evaluate_design_space",
     "get",
+    "merge_result_sets",
     "register",
     "register_method",
+    "shard_select",
     "unregister",
 ]

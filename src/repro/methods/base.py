@@ -166,13 +166,32 @@ class ComponentCache:
         reference: str,
         compute: Callable[[], MTTFEstimate],
     ) -> MTTFEstimate:
+        return self.estimate_with_status(
+            method, system, mc, reference, compute
+        )[0]
+
+    def estimate_with_status(
+        self,
+        method: str,
+        system: SystemModel,
+        mc: MonteCarloConfig | None,
+        reference: str,
+        compute: Callable[[], MTTFEstimate],
+    ) -> tuple[MTTFEstimate, bool]:
+        """Like :meth:`get_or_compute_estimate`, also reporting the hit.
+
+        The boolean is True when the estimate came from the cache
+        (memory or disk) and ``compute`` never ran — the batch engine's
+        progress events carry it so observers can tell replay from
+        sampling.
+        """
         key = self.estimate_key(method, system, mc, reference)
         found = self.lookup_estimate(key)
         if found is not None:
-            return found
+            return found, True
         estimate = compute()
         self.store_estimate(key, estimate)
-        return estimate
+        return estimate, False
 
 
 @dataclass(frozen=True)

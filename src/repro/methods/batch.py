@@ -12,26 +12,45 @@ with one uniform call, replacing the bespoke per-experiment loops. It
 * fans out over a thread pool (``executor="thread"``; the NumPy
   samplers release the GIL for the heavy draws) or a process pool
   (``executor="process"``; true parallelism for paper-scale 1e6-trial
-  sweeps — Monte-Carlo references additionally split at *chunk*
-  granularity when ``mc_config.chunks > 1``, so even a single grid
-  point spreads across cores), and
+  sweeps),
+* **streams** Monte-Carlo references at *chunk* granularity: chunk
+  moments are folded into a per-point
+  :class:`~repro.core.montecarlo.MomentAccumulator` the moment they
+  complete (no gather-all barrier), each fold feeds the run's
+  :class:`~repro.core.montecarlo.StoppingRule` so adaptive runs stop —
+  and cancel their unneeded chunks — as soon as the target precision is
+  reached, and every fold can emit a
+  :class:`~repro.methods.progress.ProgressEvent`,
+* partitions deterministically across machines: ``shard=(i, n)``
+  evaluates every n-th grid point starting at i, and
+  :func:`~repro.methods.results.merge_result_sets` reassembles the
+  shards into the exact :class:`~repro.methods.results.ResultSet` an
+  unsharded run produces, and
 * returns a serializable :class:`~repro.methods.results.ResultSet`
   whose record order always matches the input order, regardless of
-  worker count or executor — at fixed chunking, ``workers=1`` and
-  ``workers=N`` produce bit-identical numbers.
+  worker count, executor, or chunk completion order — at fixed chunking
+  with the stopping rule disabled, ``workers=1`` and ``workers=N``
+  produce bit-identical numbers, and even adaptive runs are a pure
+  function of the configuration because chunks fold in index order.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+    wait,
+)
 from typing import Iterable, Sequence
 
 from ..core.comparison import MethodComparison
 from ..core.montecarlo import (
+    MomentAccumulator,
     MonteCarloConfig,
-    chunk_configs,
-    estimate_from_moments,
-    merge_moments,
+    adaptive_chunk_configs,
     system_chunk_moments,
 )
 from ..core.system import SystemModel
@@ -39,7 +58,16 @@ from ..errors import ConfigurationError
 from ..reliability.metrics import MTTFEstimate
 from . import registry
 from .base import ComponentCache, MethodConfig
-from .results import ResultSet
+from .cache import mc_token
+from .progress import (
+    CHUNK_MERGED,
+    POINT_DONE,
+    POINT_START,
+    ProgressCallback,
+    ProgressEvent,
+    relative_stderr,
+)
+from .results import ResultSet, validate_shard
 
 #: A design space item: a system, optionally labeled.
 SpaceItem = SystemModel | tuple[str, SystemModel]
@@ -67,6 +95,28 @@ def _normalize_space(
     return normalized
 
 
+def shard_select(sequence: Sequence, shard: tuple[int, int] | None):
+    """The deterministic slice of ``sequence`` one shard evaluates.
+
+    Round-robin by position: shard ``(i, n)`` takes elements ``i``,
+    ``i + n``, ``i + 2n``, ... — a pure function of the *full* sequence
+    order, so N machines enumerating the same space partition it without
+    coordination, shard sizes differ by at most one, and
+    :func:`~repro.methods.results.merge_result_sets` can reassemble the
+    original order exactly. Experiments use the same helper to keep
+    their per-point metadata aligned with a sharded engine result.
+    """
+    if shard is None:
+        return sequence
+    index, count = validate_shard(shard)
+    return sequence[index::count]
+
+
+def _emit(progress: ProgressCallback | None, event: ProgressEvent) -> None:
+    if progress is not None:
+        progress(event)
+
+
 def _estimate_task(
     method_name: str,
     system: SystemModel,
@@ -83,6 +133,111 @@ def _estimate_task(
     return registry.get(method_name).estimate(system, config)
 
 
+def _stream_chunked_references(
+    items: Sequence[tuple[str, SystemModel]],
+    pending: Sequence[int],
+    references: list[MTTFEstimate | None],
+    mc: MonteCarloConfig,
+    pool: ProcessPoolExecutor,
+    workers: int,
+    progress: ProgressCallback | None,
+) -> None:
+    """Streaming reduction of chunked Monte-Carlo references.
+
+    Every pending point's *base* chunk plan (the fixed-chunking split)
+    is submitted up front; chunk moments fold into that point's
+    :class:`MomentAccumulator` as they complete — in chunk-index order,
+    so the merged moments (and any early-stop decision) are identical
+    to a serial run regardless of completion order. A point whose
+    stopping rule is satisfied finalizes immediately and cancels its
+    not-yet-started chunks (already-running stragglers finish in the
+    pool and are ignored); a point that exhausts its submitted chunks
+    without meeting the rule lazily submits its next slice of
+    extension chunks (up to the ``max_trials`` budget), so a run that
+    stops early never speculatively executes its extension tail.
+    """
+    plan = adaptive_chunk_configs(mc)
+    # The fixed plan has min(chunks, trials) chunks (see chunk_configs);
+    # truncated budgets make the whole plan shorter still.
+    base_count = min(mc.chunks, mc.trials, len(plan))
+    label = f"monte_carlo[{mc.method}]"
+    accumulators = {
+        index: MomentAccumulator(len(plan), mc.stopping)
+        for index in pending
+    }
+    submitted: dict[int, list[Future]] = {index: [] for index in pending}
+    future_meta: dict[Future, tuple[int, int]] = {}
+
+    def submit_chunks(index: int, count: int) -> list[Future]:
+        start = len(submitted[index])
+        futures = []
+        for chunk_index in range(start, min(start + count, len(plan))):
+            future = pool.submit(
+                system_chunk_moments, items[index][1], plan[chunk_index]
+            )
+            submitted[index].append(future)
+            future_meta[future] = (index, chunk_index)
+            futures.append(future)
+        return futures
+
+    for index in pending:
+        _emit(
+            progress,
+            ProgressEvent(
+                items[index][0], POINT_START, total_chunks=len(plan)
+            ),
+        )
+        submit_chunks(index, base_count)
+    waiting = set(future_meta)
+    while waiting:
+        completed, waiting = wait(waiting, return_when=FIRST_COMPLETED)
+        for future in completed:
+            index, _chunk_index = future_meta[future]
+            accumulator = accumulators[index]
+            if accumulator.done or future.cancelled():
+                continue  # straggler of an already-finalized point
+            merged_before = accumulator.merged_chunks
+            done = accumulator.add(
+                future_meta[future][1], future.result()
+            )
+            if done:
+                references[index] = accumulator.estimate(label)
+                if accumulator.stopped_early:
+                    for leftover in submitted[index]:
+                        leftover.cancel()
+                _emit(
+                    progress,
+                    ProgressEvent(
+                        items[index][0],
+                        POINT_DONE,
+                        merged_chunks=accumulator.merged_chunks,
+                        total_chunks=len(plan),
+                        trials=accumulator.moments.count,
+                        rel_stderr=relative_stderr(accumulator.moments),
+                        stopped_early=accumulator.stopped_early,
+                    ),
+                )
+                continue
+            if accumulator.merged_chunks > merged_before:
+                _emit(
+                    progress,
+                    ProgressEvent(
+                        items[index][0],
+                        CHUNK_MERGED,
+                        merged_chunks=accumulator.merged_chunks,
+                        total_chunks=len(plan),
+                        trials=accumulator.moments.count,
+                        rel_stderr=relative_stderr(accumulator.moments),
+                    ),
+                )
+            if accumulator.merged_chunks == len(submitted[index]):
+                # Every submitted chunk has merged and the target is
+                # still unmet: release the next extension slice. One
+                # pool-width at a time keeps the workers busy without
+                # speculating the whole tail.
+                waiting |= set(submit_chunks(index, max(1, workers)))
+
+
 def _process_references(
     items: Sequence[tuple[str, SystemModel]],
     reference_name: str,
@@ -90,20 +245,22 @@ def _process_references(
     config: MethodConfig,
     cache: ComponentCache | None,
     workers: int,
+    progress: ProgressCallback | None = None,
 ) -> list[MTTFEstimate]:
     """Reference estimates for every item via a process pool.
 
     Cache hits are resolved in the parent; only misses are farmed out.
-    Monte-Carlo references with ``chunks > 1`` are submitted at chunk
-    granularity so one expensive grid point spreads across cores; the
-    chunk moments merge in chunk order, reproducing exactly what
-    ``monte_carlo_mttf`` computes serially.
+    Monte-Carlo references with chunking (or a stopping rule) stream
+    through :func:`_stream_chunked_references` so one expensive grid
+    point spreads across cores and adaptive runs stop at their target
+    precision; everything else fans out whole-estimate and is collected
+    ``as_completed`` (order-independent — results land by index).
     """
     mc = config.mc if reference_estimator.is_stochastic else None
     references: list[MTTFEstimate | None] = [None] * len(items)
     keys: list[str | None] = [None] * len(items)
     pending: list[int] = []
-    for index, (_label, system) in enumerate(items):
+    for index, (label, system) in enumerate(items):
         if cache is not None:
             keys[index] = cache.estimate_key(
                 reference_name, system, mc, reference_name
@@ -111,45 +268,55 @@ def _process_references(
             found = cache.lookup_estimate(keys[index])
             if found is not None:
                 references[index] = found
+                # Cached points still get a start/done pair so progress
+                # consumers see the same event shape on every path.
+                _emit(progress, ProgressEvent(label, POINT_START))
+                _emit(
+                    progress,
+                    ProgressEvent(
+                        label, POINT_DONE, trials=found.trials,
+                        cached=True,
+                    ),
+                )
                 continue
         pending.append(index)
     if pending:
-        chunked = (
-            reference_name == "monte_carlo" and config.mc.chunks > 1
+        chunked = reference_name == "monte_carlo" and (
+            config.mc.chunks > 1 or config.mc.adaptive
         )
         with ProcessPoolExecutor(max_workers=workers) as pool:
             if chunked:
-                chunks = chunk_configs(config.mc)
-                label = f"monte_carlo[{config.mc.method}]"
-                futures = {
-                    index: [
-                        pool.submit(
-                            system_chunk_moments, items[index][1], chunk
-                        )
-                        for chunk in chunks
-                    ]
-                    for index in pending
-                }
-                for index in pending:
-                    moments = merge_moments(
-                        [f.result() for f in futures[index]]
-                    )
-                    references[index] = estimate_from_moments(
-                        moments, label
-                    )
+                _stream_chunked_references(
+                    items, pending, references, config.mc, pool,
+                    workers, progress,
+                )
             else:
                 futures = {
-                    index: pool.submit(
+                    pool.submit(
                         _estimate_task,
                         reference_name,
                         items[index][1],
                         config.mc,
                         reference_name,
-                    )
+                    ): index
                     for index in pending
                 }
                 for index in pending:
-                    references[index] = futures[index].result()
+                    _emit(
+                        progress,
+                        ProgressEvent(items[index][0], POINT_START),
+                    )
+                for future in as_completed(futures):
+                    index = futures[future]
+                    references[index] = future.result()
+                    _emit(
+                        progress,
+                        ProgressEvent(
+                            items[index][0],
+                            POINT_DONE,
+                            trials=references[index].trials,
+                        ),
+                    )
         if cache is not None:
             for index in pending:
                 cache.store_estimate(keys[index], references[index])
@@ -165,6 +332,8 @@ def evaluate_design_space(
     executor: str = "thread",
     cache: ComponentCache | bool | None = None,
     skip_unsupported: bool = False,
+    shard: tuple[int, int] | None = None,
+    progress: ProgressCallback | None = None,
 ) -> ResultSet:
     """Run ``methods`` against ``reference`` on every system in ``space``.
 
@@ -180,18 +349,20 @@ def evaluate_design_space(
     mc_config:
         Monte-Carlo settings shared by every stochastic estimate. Set
         ``chunks > 1`` to split each estimate into seeded sub-runs —
-        required for chunk-granular process fan-out, and the unit of
-        reproducibility: numbers depend on the chunking, never on the
-        worker count or executor.
+        the unit of both parallelism and adaptivity. A
+        :class:`~repro.core.montecarlo.StoppingRule` on the config makes
+        runs precision-driven: chunks are scheduled until the target
+        stderr is reached. Numbers depend on the chunking and the rule,
+        never on the worker count or executor.
     workers:
         Fan-out width; 1 (default) runs serially. Results keep the
         input order either way.
     executor:
         ``"thread"`` (default) or ``"process"``. Threads suit the
         GIL-releasing NumPy samplers; processes buy true parallelism
-        for paper-scale sweeps. The process pool computes reference
-        estimates (the expensive part); method estimates and caching
-        stay in the parent.
+        for paper-scale sweeps. The process pool streams reference
+        chunks (the expensive part); method estimates and caching stay
+        in the parent.
     cache:
         ``None`` (default) uses a fresh per-call cache,
         ``False`` disables memoization, or pass a
@@ -200,8 +371,23 @@ def evaluate_design_space(
     skip_unsupported:
         When True, methods whose ``supports(system)`` is False are
         silently omitted from that system's record instead of raising.
+    shard:
+        ``(i, n)`` evaluates only this machine's round-robin share of
+        the space (see :func:`shard_select`); labels still come from
+        the full-space enumeration. The returned set records the shard
+        so :func:`~repro.methods.results.merge_result_sets` can verify
+        completeness and restore the unsharded order. N machines
+        pointing at one shared disk cache split one grid with no
+        coordination beyond the shard index.
+    progress:
+        Optional callback receiving
+        :class:`~repro.methods.progress.ProgressEvent` per grid point
+        (and per merged chunk on the streaming process path).
     """
     items = _normalize_space(space)
+    if shard is not None:
+        shard = validate_shard(shard)
+        items = shard_select(items, shard)
     if not methods:
         raise ConfigurationError(
             f"methods must not be empty; available: {registry.available()}"
@@ -262,15 +448,28 @@ def evaluate_design_space(
         )
 
     def evaluate_one(item: tuple[str, SystemModel]) -> MethodComparison:
-        ref = cached_estimate(
-            reference_name, reference_estimator, item[1]
+        label, system = item
+        _emit(progress, ProgressEvent(label, POINT_START))
+        mc = config.mc if reference_estimator.is_stochastic else None
+        compute = lambda: reference_estimator.estimate(system, config)
+        if cache is not None:
+            ref, cached_hit = cache.estimate_with_status(
+                reference_name, system, mc, reference_name, compute
+            )
+        else:
+            ref, cached_hit = compute(), False
+        _emit(
+            progress,
+            ProgressEvent(
+                label, POINT_DONE, trials=ref.trials, cached=cached_hit
+            ),
         )
         return finish_item(item, ref)
 
     if executor == "process":
         references = _process_references(
             items, reference_name, reference_estimator, config, cache,
-            workers,
+            workers, progress,
         )
         comparisons = tuple(
             finish_item(item, ref)
@@ -285,4 +484,6 @@ def evaluate_design_space(
         comparisons=comparisons,
         methods=tuple(method_names),
         reference_method=reference_name,
+        shard=shard,
+        mc_token=mc_token(config.mc),
     )

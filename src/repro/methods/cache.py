@@ -43,15 +43,21 @@ def mc_token(mc: MonteCarloConfig | None) -> str:
     ``None`` means the value does not depend on any Monte-Carlo settings
     (deterministic closed forms), which all share the ``"exact"`` token.
     Every field that can change the numbers is included — trials, seed,
-    sampler, start phase, chunking, and the arrival-round cap.
+    sampler, start phase, chunking, the arrival-round cap, and (for
+    adaptive runs) the stopping rule. The stopping fragment is appended
+    only when a rule is set, so fixed-count tokens — and therefore warm
+    disk caches written by earlier releases — stay valid.
     """
     if mc is None:
         return "exact"
-    return (
+    token = (
         f"trials={mc.trials},seed={mc.seed},method={mc.method},"
         f"start_phase={mc.start_phase},chunks={mc.chunks},"
         f"cap={mc.max_arrival_rounds}"
     )
+    if mc.stopping is not None:
+        token += f",stopping[{mc.stopping.token()}]"
+    return token
 
 
 class DiskCache:

@@ -1,0 +1,74 @@
+"""Per-point progress events emitted by the batch engine.
+
+The streaming engine (:func:`repro.methods.batch.evaluate_design_space`)
+reports its work through a caller-supplied callback so long sweeps are
+observable while they run — which grid point is being estimated, how
+many trial chunks have merged, the precision reached so far, and
+whether an adaptive run stopped early. The CLI's progress reporter
+(:mod:`repro.harness.runner`) is one consumer; tests and notebook
+monitors are others.
+
+Events are plain frozen dataclasses; the callback runs inline on
+whichever thread finishes the work, so consumers should be cheap and
+thread-safe (printing is — the engine never emits two events for one
+point concurrently).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+#: Event kinds, in lifecycle order for one grid point.
+POINT_START = "point-start"
+CHUNK_MERGED = "chunk"
+POINT_DONE = "point-done"
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One observation of the engine's work on one grid point.
+
+    Attributes
+    ----------
+    label:
+        The grid point's system label.
+    kind:
+        ``"point-start"`` (reference estimation begins),
+        ``"chunk"`` (one more trial chunk folded into the running
+        moments), or ``"point-done"`` (reference estimate final).
+    merged_chunks / total_chunks:
+        Streaming position within the point's chunk plan. ``0/0`` for
+        unchunked or non-stochastic references.
+    trials:
+        Trials merged so far (the final trial count on ``point-done``).
+    rel_stderr:
+        Achieved relative standard error of the running estimate, or
+        ``None`` while undefined (no finite moments yet).
+    stopped_early:
+        On ``point-done``: True when a stopping rule ended the point
+        before its full chunk plan.
+    cached:
+        On ``point-done``: True when the estimate came from the cache
+        and no sampling ran at all.
+    """
+
+    label: str
+    kind: str
+    merged_chunks: int = 0
+    total_chunks: int = 0
+    trials: int = 0
+    rel_stderr: float | None = None
+    stopped_early: bool = False
+    cached: bool = False
+
+
+#: The callback shape ``evaluate_design_space(progress=...)`` accepts.
+ProgressCallback = Callable[[ProgressEvent], None]
+
+
+def relative_stderr(moments) -> float | None:
+    """Achieved relative standard error of merged chunk moments."""
+    if moments is None:
+        return None
+    return moments.rel_stderr

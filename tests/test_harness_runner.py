@@ -57,3 +57,91 @@ class TestRunnerCli:
         from repro.methods import ResultSet
 
         assert len(ResultSet.from_json(out)) > 0
+
+    def test_non_sweep_experiments_ignore_shard(self, tmp_path, capsys):
+        # --shard is honoured by the sweep experiments; the rest accept
+        # and ignore it, producing the unsharded artifact.
+        from repro.methods import ResultSet
+
+        full = tmp_path / "full.json"
+        assert main(
+            ["ablation.convergence", "--trials", "500", "--json",
+             str(full)]
+        ) == 0
+        paths = []
+        for index in range(2):
+            out = tmp_path / f"shard{index}.json"
+            paths.append(out)
+            assert main(
+                ["ablation.convergence", "--trials", "500", "--shard",
+                 f"{index}/2", "--json", str(out)]
+            ) == 0
+        capsys.readouterr()
+        sets = [ResultSet.from_json(p) for p in paths]
+        assert sets[0] == sets[1] == ResultSet.from_json(full)
+
+    def test_merge_command(self, tmp_path, capsys):
+        from repro.methods import ResultSet
+
+        full = tmp_path / "full.json"
+        shard_paths = []
+        args = ["fig5", "--trials", "400", "--mc-chunks", "2"]
+        assert main(args + ["--json", str(full)]) == 0
+        for index in range(2):
+            out = tmp_path / f"s{index}.json"
+            shard_paths.append(str(out))
+            assert main(
+                args + ["--shard", f"{index}/2", "--json", str(out)]
+            ) == 0
+        merged = tmp_path / "merged.json"
+        assert main(
+            ["merge", *shard_paths, "--json", str(merged)]
+        ) == 0
+        assert "merged 2 shard(s)" in capsys.readouterr().out
+        assert ResultSet.from_json(merged) == ResultSet.from_json(full)
+
+    def test_merge_requires_inputs_and_output(self, tmp_path, capsys):
+        assert main(["merge"]) == 1
+        assert main(["merge", str(tmp_path / "missing.json")]) == 1
+
+    def test_target_stderr_run_records_adaptive_trials(
+        self, tmp_path, capsys
+    ):
+        from repro.methods import ResultSet
+
+        out = tmp_path / "adaptive.json"
+        assert main(
+            ["fig5", "--trials", "20000", "--mc-chunks", "10",
+             "--target-stderr", "0.05", "--json", str(out)]
+        ) == 0
+        result_set = ResultSet.from_json(out)
+        trials = result_set.reference_trials()
+        assert all(0 < t < 20000 for t in trials.values())
+        assert all(
+            rel <= 0.05
+            for rel in result_set.reference_rel_stderr().values()
+        )
+
+    def test_target_stderr_defaults_chunk_granularity(
+        self, tmp_path, capsys
+    ):
+        # Without --mc-chunks, --target-stderr must still be able to
+        # stop early (the CLI defaults to 16 chunks and says so).
+        from repro.methods import ResultSet
+
+        out = tmp_path / "auto.json"
+        assert main(
+            ["fig5", "--trials", "16000", "--target-stderr", "0.1",
+             "--json", str(out)]
+        ) == 0
+        assert "using 16 chunks" in capsys.readouterr().err
+        trials = ResultSet.from_json(out).reference_trials()
+        assert all(0 < t < 16000 for t in trials.values())
+
+    def test_progress_flag_streams_events(self, capsys):
+        assert main(
+            ["fig5", "--trials", "1000", "--mc-chunks", "2",
+             "--executor", "process", "--workers", "2", "--progress"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "[progress]" in err and "done trials=1000" in err
