@@ -131,6 +131,54 @@ def benchmark_cases(trials: int, points: int, workers: int):
                 cache=False,
             ),
         ),
+        # Pipelined-vs-phased. Like-for-like for the method-pipelining
+        # claim is the process pair (sweep_process_streaming_adaptive
+        # vs sweep_process_pipelined_adaptive: both stream reference
+        # chunks, only the method schedule differs). The thread pair
+        # additionally buys per-point chunk fan-out — the classic
+        # thread path runs each point's whole adaptive plan serially
+        # inside one task — so its delta conflates the two effects;
+        # read it as "scheduler vs classic thread path". The
+        # reallocating case also spends freed early-stop budget on the
+        # stragglers (its reference_trials metadata shows where the
+        # budget went).
+        (
+            "sweep_threads_phased_adaptive_2pct",
+            {"trials": trials, "chunks": 8, "workers": workers,
+             "executor": "thread", "target_rel_stderr": 0.02,
+             "pipeline_methods": False},
+            lambda: run(mc_config=adaptive, workers=workers, cache=False),
+        ),
+        (
+            "sweep_threads_pipelined_adaptive_2pct",
+            {"trials": trials, "chunks": 8, "workers": workers,
+             "executor": "thread", "target_rel_stderr": 0.02,
+             "pipeline_methods": True},
+            lambda: run(
+                mc_config=adaptive, workers=workers, cache=False,
+                pipeline_methods=True,
+            ),
+        ),
+        (
+            "sweep_process_pipelined_adaptive_2pct",
+            {"trials": trials, "chunks": 8, "workers": workers,
+             "executor": "process", "target_rel_stderr": 0.02,
+             "pipeline_methods": True},
+            lambda: run(
+                mc_config=adaptive, workers=workers, executor="process",
+                cache=False, pipeline_methods=True,
+            ),
+        ),
+        (
+            "sweep_threads_pipelined_realloc_adaptive_2pct",
+            {"trials": trials, "chunks": 8, "workers": workers,
+             "executor": "thread", "target_rel_stderr": 0.02,
+             "pipeline_methods": True, "reallocate_budget": True},
+            lambda: run(
+                mc_config=adaptive, workers=workers, cache=False,
+                pipeline_methods=True, reallocate_budget=True,
+            ),
+        ),
     ]
     return cases
 

@@ -47,6 +47,8 @@ from .montecarlo import (
     chunk_configs,
     component_chunk_moments,
     estimate_from_moments,
+    extension_chunk_config,
+    grant_chunk_trials,
     merge_moments,
     moments_from_samples,
     monte_carlo_component_mttf,
@@ -105,6 +107,8 @@ __all__ = [
     "accumulate_chunks",
     "adaptive_chunk_configs",
     "chunk_configs",
+    "extension_chunk_config",
+    "grant_chunk_trials",
     "component_chunk_moments",
     "estimate_from_moments",
     "merge_moments",

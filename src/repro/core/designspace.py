@@ -164,6 +164,8 @@ def component_sweep(
     cache=None,
     shard: tuple[int, int] | None = None,
     progress=None,
+    pipeline_methods: bool = False,
+    reallocate_budget: bool = False,
 ) -> SweepOutcome:
     """AVF-step sweep: single component (C = 1), as in Figure 5 / §5.2.
 
@@ -204,6 +206,8 @@ def component_sweep(
         cache=cache,
         shard=shard,
         progress=progress,
+        pipeline_methods=pipeline_methods,
+        reallocate_budget=reallocate_budget,
     )
     results = [
         SweepResult(
@@ -233,6 +237,8 @@ def system_sweep(
     cache=None,
     shard: tuple[int, int] | None = None,
     progress=None,
+    pipeline_methods: bool = False,
+    reallocate_budget: bool = False,
 ) -> SweepOutcome:
     """SOFR-step sweep over (workload, N x S, C), as in Figure 6.
 
@@ -288,6 +294,8 @@ def system_sweep(
         cache=cache,
         shard=shard,
         progress=progress,
+        pipeline_methods=pipeline_methods,
+        reallocate_budget=reallocate_budget,
     )
     results = [
         SweepResult(

@@ -122,6 +122,33 @@ class StoppingRule:
                 return False
         return True
 
+    def deficit(self, moments: "SampleMoments") -> float | None:
+        """How far ``moments`` are from this rule's targets.
+
+        The worst set constraint's current-value-to-target ratio: 1.0
+        means exactly at target, 2.0 means the standard error must
+        halve. This is the "least-converged" ordering the batch
+        engine's budget re-allocation uses — it ranks by the *configured*
+        rule, so an absolute CI-half-width run routes freed budget to
+        the point furthest from its half-width target rather than the
+        one with the worst relative error. ``None`` when no set target
+        is measurable (an all-censored prefix, or a relative-only rule
+        at mean 0) — more trials cannot demonstrably help such a point.
+        """
+        if moments.count < 2 or math.isinf(moments.mean):
+            return None
+        stderr = moments.stderr
+        ratios = []
+        if self.target_rel_stderr is not None and moments.mean != 0.0:
+            ratios.append(
+                stderr / abs(moments.mean) / self.target_rel_stderr
+            )
+        if self.target_ci_halfwidth is not None:
+            ratios.append(self.z * stderr / self.target_ci_halfwidth)
+        if not ratios:
+            return None
+        return max(ratios)
+
     def token(self) -> str:
         """Canonical cache-key fragment (see ``repro.methods.cache``)."""
         return (
@@ -412,6 +439,44 @@ def adaptive_chunk_configs(
     return plan
 
 
+def grant_chunk_trials(config: MonteCarloConfig) -> int:
+    """Trial size of one budget-extension chunk.
+
+    The same granularity :func:`adaptive_chunk_configs` uses for
+    ``max_trials`` extensions — the batch engine's budget re-allocation
+    issues grants in these units so every extension, however funded,
+    lands on the same chunk grid.
+    """
+    return max(1, config.trials // min(config.chunks, config.trials))
+
+
+def extension_chunk_config(
+    config: MonteCarloConfig, index: int, trials: int
+) -> MonteCarloConfig:
+    """The chunk configuration at position ``index`` of an extended plan.
+
+    Chunk seeds come from ``SeedSequence(seed).spawn(...)``, whose
+    children are a pure function of the chunk *index* — the rule
+    :func:`chunk_configs` and :func:`adaptive_chunk_configs` already
+    follow. A plan grown one grant at a time therefore equals the plan
+    a single up-front extension to the same budget would produce:
+    prefix preservation by construction, regardless of how many rounds
+    of re-allocation funded the tail.
+    """
+    if index < 0:
+        raise EstimationError(f"chunk index must be >= 0, got {index}")
+    if trials < 1:
+        raise EstimationError(f"chunk trials must be >= 1, got {trials}")
+    child = np.random.SeedSequence(config.seed).spawn(index + 1)[index]
+    return replace(
+        config,
+        trials=trials,
+        seed=int(child.generate_state(1, np.uint64)[0]),
+        chunks=1,
+        stopping=None,
+    )
+
+
 class MomentAccumulator:
     """Streaming, order-independent reducer of chunk moments.
 
@@ -454,6 +519,27 @@ class MomentAccumulator:
     def stopped_early(self) -> bool:
         """Whether the rule ended the run before the full chunk plan."""
         return self.satisfied and self._next < self.total_chunks
+
+    def extend_plan(self, extra_chunks: int) -> None:
+        """Grow the chunk plan of an exhausted, unsatisfied accumulator.
+
+        Budget re-allocation funds further chunks for a point that spent
+        its whole plan without meeting its stopping rule; extending the
+        plan reopens the accumulator (:attr:`done` becomes False) and
+        folding resumes at the next chunk index. Extending a *satisfied*
+        accumulator is a scheduling bug — that estimate is already
+        final — and is rejected loudly.
+        """
+        if extra_chunks < 1:
+            raise EstimationError(
+                f"extra_chunks must be >= 1, got {extra_chunks}"
+            )
+        if self.satisfied:
+            raise EstimationError(
+                "cannot extend a satisfied accumulator; its estimate "
+                "is already final"
+            )
+        self.total_chunks += extra_chunks
 
     def add(self, index: int, moments: SampleMoments) -> bool:
         """Record one chunk's moments; fold any ready in-order prefix.

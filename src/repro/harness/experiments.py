@@ -436,6 +436,8 @@ def run_sec51(
     cache_dir: str | None = None,
     mc_chunks: int = 1,
     target_stderr: float | None = None,
+    pipeline_methods: bool = False,
+    reallocate_budget: bool = False,
     **_,
 ):
     benchmarks = benchmarks or REPRESENTATIVE_SPEC
@@ -449,7 +451,11 @@ def run_sec51(
         ["benchmark", "AVF+SOFR MTTF (y)", "exact MTTF (y)", "error"],
     )
     cache = make_cache(cache_dir)
-    engine = dict(workers=workers, executor=executor, cache=cache)
+    engine = dict(
+        workers=workers, executor=executor, cache=cache,
+        pipeline_methods=pipeline_methods,
+        reallocate_budget=reallocate_budget,
+    )
     worst_component = 0.0
     worst_sofr = 0.0
     merged: ResultSet | None = None
@@ -542,6 +548,8 @@ def run_sec52(
     cache_dir: str | None = None,
     shard: tuple[int, int] | None = None,
     progress=None,
+    pipeline_methods: bool = False,
+    reallocate_budget: bool = False,
     **_,
 ):
     benchmarks = benchmarks or REPRESENTATIVE_SPEC
@@ -573,6 +581,8 @@ def run_sec52(
         cache=cache,
         shard=shard,
         progress=progress,
+        pipeline_methods=pipeline_methods,
+        reallocate_budget=reallocate_budget,
     )
     worst = 0.0
     for (label, _system), mass, comparison in zip(
@@ -619,6 +629,8 @@ def run_fig5(
     target_stderr: float | None = None,
     shard: tuple[int, int] | None = None,
     progress=None,
+    pipeline_methods: bool = False,
+    reallocate_budget: bool = False,
     **_,
 ):
     workloads = _synthesized_workloads()
@@ -632,6 +644,8 @@ def run_fig5(
         cache=cache,
         shard=shard,
         progress=progress,
+        pipeline_methods=pipeline_methods,
+        reallocate_budget=reallocate_budget,
     )
     table = Table(
         "Figure 5: AVF-step error vs Monte Carlo, synthesized workloads",
@@ -697,6 +711,8 @@ def run_fig6a(
     target_stderr: float | None = None,
     shard: tuple[int, int] | None = None,
     progress=None,
+    pipeline_methods: bool = False,
+    reallocate_budget: bool = False,
     **_,
 ):
     workloads = {
@@ -714,6 +730,8 @@ def run_fig6a(
         cache=cache,
         shard=shard,
         progress=progress,
+        pipeline_methods=pipeline_methods,
+        reallocate_budget=reallocate_budget,
     )
     table = Table(
         "Figure 6(a): SOFR-step error vs Monte Carlo, SPEC workloads "
@@ -769,6 +787,8 @@ def run_fig6b(
     target_stderr: float | None = None,
     shard: tuple[int, int] | None = None,
     progress=None,
+    pipeline_methods: bool = False,
+    reallocate_budget: bool = False,
     **_,
 ):
     workloads = _synthesized_workloads()
@@ -801,7 +821,8 @@ def run_fig6b(
     cache = make_cache(cache_dir)
     engine = dict(
         workers=workers, executor=executor, cache=cache, shard=shard,
-        progress=progress,
+        progress=progress, pipeline_methods=pipeline_methods,
+        reallocate_budget=reallocate_budget,
     )
     # Zero-phase pass: the SOFR step (fed zero-phase MC component MTTFs,
     # memoized once per distinct component across every C) against the
@@ -915,6 +936,8 @@ def run_compare(
     cache_dir: str | None = None,
     mc_chunks: int = 1,
     target_stderr: float | None = None,
+    pipeline_methods: bool = False,
+    reallocate_budget: bool = False,
     **_,
 ):
     """Compare any registered methods on the SPEC uniprocessor systems.
@@ -952,6 +975,8 @@ def run_compare(
             workers=workers,
             executor=executor,
             cache=cache,
+            pipeline_methods=pipeline_methods,
+            reallocate_budget=reallocate_budget,
         )
         comparison = bench_set[0]
         table.add_row(
@@ -991,6 +1016,8 @@ def run_sec54(
     target_stderr: float | None = None,
     shard: tuple[int, int] | None = None,
     progress=None,
+    pipeline_methods: bool = False,
+    reallocate_budget: bool = False,
     **_,
 ):
     workloads = _synthesized_workloads()
@@ -1032,6 +1059,8 @@ def run_sec54(
         cache=cache,
         shard=shard,
         progress=progress,
+        pipeline_methods=pipeline_methods,
+        reallocate_budget=reallocate_budget,
     )
     table = Table(
         "Section 5.4: SoftArch error vs Monte Carlo / exact",

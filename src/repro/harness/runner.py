@@ -37,6 +37,14 @@ a sweep (run every shard against one shared ``--cache-dir``, then
 ``merge`` the per-shard ``--json`` artifacts into the exact unsharded
 result), and ``--progress`` streams per-point progress lines to stderr
 as chunk moments merge.
+
+The pipelined scheduler adds two more: ``--pipeline-methods`` submits
+method estimates to the worker pool the moment each point's reference
+finalizes (no post-reference phase; results bit-identical), and
+``--reallocate-budget`` re-grants the trial budget freed by
+early-stopping points to the least-converged stragglers (pair it with
+``--target-stderr``; deterministic across workers and executors, and a
+sharded run redistributes within its own shard only).
 """
 
 from __future__ import annotations
@@ -88,6 +96,18 @@ class ProgressReporter:
                 f"chunk {event.merged_chunks}/{event.total_chunks}"
             )
             parts.append(f"trials={event.trials}")
+        elif event.kind == "method-start":
+            parts.append(f"method {event.method} start")
+        elif event.kind == "method-done":
+            parts.append(f"method {event.method} done")
+            parts.append(f"trials={event.trials}")
+        elif event.kind == "budget-reallocated":
+            parts.append(
+                f"budget +{event.granted_trials} trials "
+                f"({event.granted_chunks} chunks)"
+            )
+        elif event.kind == "prewarm":
+            parts.append(f"prewarmed {event.warmed_entries} cache entries")
         else:
             parts.append("done")
             parts.append(f"trials={event.trials}")
@@ -215,6 +235,24 @@ def _build_parser() -> argparse.ArgumentParser:
         "its two-pass artifact is not merge-able (merge fails loudly).",
     )
     parser.add_argument(
+        "--pipeline-methods",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="submit method estimates to the worker pool the moment "
+        "each point's reference finalizes instead of running them in a "
+        "post-reference phase (results bit-identical either way; "
+        "--no-pipeline-methods restores the phased schedule)",
+    )
+    parser.add_argument(
+        "--reallocate-budget",
+        action="store_true",
+        help="return the trial budget of chunks cancelled by early "
+        "stops to a shared ledger and re-grant it to the "
+        "least-converged points that exhausted theirs (needs "
+        "--target-stderr to have any effect; deterministic across "
+        "--workers/--executor)",
+    )
+    parser.add_argument(
         "--progress",
         action="store_true",
         help="stream per-point progress lines to stderr as trial "
@@ -271,6 +309,13 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
 
+    if args.reallocate_budget and args.target_stderr is None:
+        print(
+            "note: --reallocate-budget without --target-stderr is a "
+            "no-op (no stopping rule ever frees budget)",
+            file=sys.stderr,
+        )
+
     run_kwargs: dict = {
         "trials": args.trials,
         "workers": args.workers,
@@ -279,6 +324,8 @@ def main(argv: list[str] | None = None) -> int:
         "mc_chunks": args.mc_chunks,
         "target_stderr": args.target_stderr,
         "shard": args.shard,
+        "pipeline_methods": args.pipeline_methods,
+        "reallocate_budget": args.reallocate_budget,
     }
     if args.progress:
         run_kwargs["progress"] = ProgressReporter()

@@ -152,6 +152,33 @@ class ComponentCache:
             self.estimate_misses += 1
         return None
 
+    def prewarm_estimates(self, keys) -> int:
+        """Pull the disk entries behind ``keys`` into memory, silently.
+
+        Sharded sweeps call this before scheduling any work so estimates
+        a co-running shard already published into the shared
+        ``--cache-dir`` are visible up front (the scheduler then skips
+        those points entirely). Returns how many entries were pulled
+        from disk; keys already in memory or absent on disk are passed
+        over. Unlike :meth:`lookup_estimate`, nothing here perturbs the
+        hit/miss counters — a warm rerun still reports ``misses=0``.
+        """
+        if self.disk is None:
+            return 0
+        warmed = 0
+        for key in keys:
+            with self._lock:
+                if key in self._estimates:
+                    continue
+            stored = self.disk.peek(key)
+            if stored is None:
+                continue
+            estimate = MTTFEstimate.from_dict(stored)
+            with self._lock:
+                self._estimates.setdefault(key, estimate)
+            warmed += 1
+        return warmed
+
     def store_estimate(self, key: str, estimate: MTTFEstimate) -> None:
         with self._lock:
             self._estimates.setdefault(key, estimate)

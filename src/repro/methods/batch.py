@@ -21,6 +21,13 @@ with one uniform call, replacing the bespoke per-experiment loops. It
   and cancel their unneeded chunks — as soon as the target precision is
   reached, and every fold can emit a
   :class:`~repro.methods.progress.ProgressEvent`,
+* can run as one **fully-pipelined, work-conserving schedule**
+  (``pipeline_methods=True`` / ``reallocate_budget=True``): method
+  estimator tasks join the pool the moment their point's reference
+  finalizes instead of waiting for a post-reference phase, and trial
+  budget freed by early-stopping points is re-granted to the
+  least-converged stragglers at deterministic quiescent barriers
+  (see :class:`_PipelinedScheduler`),
 * partitions deterministically across machines: ``shard=(i, n)``
   evaluates every n-th grid point starting at i, and
   :func:`~repro.methods.results.merge_result_sets` reassembles the
@@ -51,6 +58,8 @@ from ..core.montecarlo import (
     MomentAccumulator,
     MonteCarloConfig,
     adaptive_chunk_configs,
+    extension_chunk_config,
+    grant_chunk_trials,
     system_chunk_moments,
 )
 from ..core.system import SystemModel
@@ -60,7 +69,11 @@ from . import registry
 from .base import ComponentCache, MethodConfig
 from .cache import mc_token
 from .progress import (
+    BUDGET_REALLOCATED,
+    CACHE_PREWARMED,
     CHUNK_MERGED,
+    METHOD_DONE,
+    METHOD_STARTED,
     POINT_DONE,
     POINT_START,
     ProgressCallback,
@@ -131,6 +144,53 @@ def _estimate_task(
     """
     config = MethodConfig(mc=mc, reference=reference, cache=None)
     return registry.get(method_name).estimate(system, config)
+
+
+def _finish_item(
+    item: tuple[str, SystemModel],
+    ref: MTTFEstimate,
+    method_names: Sequence[str],
+    reference_name: str,
+    config: MethodConfig,
+    cache: ComponentCache | None,
+    skip_unsupported: bool,
+) -> MethodComparison:
+    """Assemble one point's comparison, computing methods in the parent.
+
+    This is the *phased* method step: every method estimate runs (or is
+    replayed from the cache) after the point's reference landed. The
+    pipelined scheduler uses the same support/skip/reference-reuse rules
+    but farms the estimates out to its pool instead.
+    """
+    label, system = item
+    estimates: dict[str, MTTFEstimate] = {}
+    for name in method_names:
+        estimator = registry.get(name)
+        if not estimator.supports(system):
+            if skip_unsupported:
+                continue
+            raise ConfigurationError(
+                f"method {name!r} does not support system {label!r}"
+            )
+        # The reference estimate doubles as the method estimate when
+        # the same method is also selected.
+        if name == reference_name:
+            estimates[name] = ref
+            continue
+        mc = config.mc if estimator.is_stochastic else None
+        if cache is None:
+            estimates[name] = estimator.estimate(system, config)
+        else:
+            estimates[name] = cache.get_or_compute_estimate(
+                name,
+                system,
+                mc,
+                reference_name,
+                lambda: estimator.estimate(system, config),
+            )
+    return MethodComparison(
+        system_label=label, reference=ref, estimates=estimates
+    )
 
 
 def _stream_chunked_references(
@@ -323,6 +383,566 @@ def _process_references(
     return references  # type: ignore[return-value]
 
 
+class _PointState:
+    """Mutable per-point bookkeeping for the pipelined scheduler."""
+
+    __slots__ = (
+        "index", "label", "system", "plan", "accumulator", "submitted",
+        "reference", "ref_key", "estimates", "pending_methods",
+        "methods_launched",
+    )
+
+    def __init__(self, index: int, label: str, system: SystemModel) -> None:
+        self.index = index
+        self.label = label
+        self.system = system
+        #: Chunk plan (mutable: budget grants append extension chunks).
+        self.plan: list[MonteCarloConfig] | None = None
+        self.accumulator: MomentAccumulator | None = None
+        #: How many plan chunks have been submitted to the pool.
+        self.submitted = 0
+        self.reference: MTTFEstimate | None = None
+        self.ref_key: str | None = None
+        self.estimates: dict[str, MTTFEstimate] = {}
+        self.pending_methods: set[str] = set()
+        self.methods_launched = False
+
+
+class _PipelinedScheduler:
+    """Work-conserving sweep scheduler: one pool, three work kinds.
+
+    A single executor pool runs, with no phase barriers between them:
+
+    * **reference chunks** — every pending point's Monte-Carlo chunk
+      plan streams through a per-point :class:`MomentAccumulator`
+      exactly as the classic process path does (in-order folds,
+      early-stop cancellation, lazy ``max_trials`` extension);
+    * **method estimates** (``pipeline_methods``) — the moment a
+      point's reference finalizes, its per-method estimator tasks join
+      the same pool and :class:`MethodComparison` inputs are recorded
+      as results land, in any order;
+    * **budget extensions** (``reallocate_budget``) — trial budget
+      freed by early-stopping points accumulates in a ledger and is
+      re-granted to the least-converged open points as
+      prefix-preserving extension chunks.
+
+    Determinism: chunk moments fold strictly in chunk-index order per
+    point (the PR-3 invariant), and re-allocation fires only at
+    *quiescent barriers* — moments when no reference chunk is in flight
+    anywhere, which can only occur once every point has
+    deterministically resolved its current plan (satisfied, exhausted,
+    or censored). The ledger total, the candidate set, the
+    least-converged ordering, and the round-robin grants are therefore
+    pure functions of the configuration, never of worker count,
+    executor, or completion order. Extension chunk seeds are spawned by
+    chunk index (:func:`~repro.core.montecarlo.extension_chunk_config`),
+    so grants preserve every previously drawn sample. Within one
+    invocation the budget is conserved; a *sharded* run redistributes
+    within its own shard only (see DESIGN.md).
+    """
+
+    def __init__(
+        self,
+        items: Sequence[tuple[str, SystemModel]],
+        method_names: Sequence[str],
+        reference_name: str,
+        reference_estimator,
+        config: MethodConfig,
+        cache: ComponentCache | None,
+        workers: int,
+        executor: str,
+        progress: ProgressCallback | None,
+        pipeline_methods: bool,
+        reallocate_budget: bool,
+        skip_unsupported: bool,
+        shard: tuple[int, int] | None,
+    ) -> None:
+        self.method_names = method_names
+        self.reference_name = reference_name
+        self.reference_estimator = reference_estimator
+        self.config = config
+        self.cache = cache
+        self.workers = workers
+        self.executor = executor
+        self.progress = progress
+        self.pipeline_methods = pipeline_methods
+        self.reallocate = reallocate_budget
+        self.skip_unsupported = skip_unsupported
+        self.shard = shard
+        self.points = [
+            _PointState(index, label, system)
+            for index, (label, system) in enumerate(items)
+        ]
+        mc = config.mc
+        self.chunked = reference_name == "monte_carlo" and (
+            mc.chunks > 1 or mc.adaptive
+        )
+        #: A re-allocated reference depends on the whole sweep's ledger,
+        #: not just (system, MC config) — so it must never enter the
+        #: content-addressed cache, where a later run (or a co-running
+        #: shard) would replay it as if it were the pure fixed-budget
+        #: estimate. Method estimates stay pure and cacheable.
+        self.reference_cacheable = not (
+            reallocate_budget and self.chunked and mc.adaptive
+        )
+        self.mc_label = f"monte_carlo[{mc.method}]"
+        self.grant_unit = grant_chunk_trials(mc)
+        #: Freed trial budget awaiting re-allocation.
+        self.ledger = 0
+        self.pool = None
+        self.waiting: set[Future] = set()
+        self.future_meta: dict[Future, tuple] = {}
+        self.chunk_futures: dict[int, list[Future]] = {}
+        #: Outstanding reference-chunk futures (straggler-inclusive);
+        #: zero means a quiescent barrier for re-allocation purposes.
+        self.live_chunks = 0
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _emit(self, event: ProgressEvent) -> None:
+        _emit(self.progress, event)
+
+    def _reference_mc(self) -> MonteCarloConfig | None:
+        if self.reference_estimator.is_stochastic:
+            return self.config.mc
+        return None
+
+    def _method_mc(self, estimator) -> MonteCarloConfig | None:
+        return self.config.mc if estimator.is_stochastic else None
+
+    def _defer_exhausted(self) -> bool:
+        """Whether exhausted-unsatisfied points wait for budget grants."""
+        return self.reallocate and self.config.mc.adaptive
+
+    # -- prewarm -----------------------------------------------------------
+
+    def _prewarm(self) -> None:
+        """Pre-touch every estimate key this run will need (disk cache).
+
+        Co-running shards pointed at one ``--cache-dir`` publish their
+        finished estimates as they land; pulling the shard's keys into
+        memory up front means points a sibling already finished are
+        skipped before any work is scheduled.
+        """
+        cache = self.cache
+        if cache is None or cache.disk is None:
+            return
+        keys = []
+        for state in self.points:
+            if self.reference_cacheable:
+                keys.append(
+                    cache.estimate_key(
+                        self.reference_name, state.system,
+                        self._reference_mc(), self.reference_name,
+                    )
+                )
+            for name in self.method_names:
+                estimator = registry.get(name)
+                keys.append(
+                    cache.estimate_key(
+                        name, state.system, self._method_mc(estimator),
+                        self.reference_name,
+                    )
+                )
+        warmed = cache.prewarm_estimates(keys)
+        label = (
+            "sweep"
+            if self.shard is None
+            else f"shard {self.shard[0]}/{self.shard[1]}"
+        )
+        self._emit(
+            ProgressEvent(label, CACHE_PREWARMED, warmed_entries=warmed)
+        )
+
+    # -- work submission ---------------------------------------------------
+
+    def _start_point(self, state: _PointState) -> None:
+        if self.cache is not None and self.reference_cacheable:
+            state.ref_key = self.cache.estimate_key(
+                self.reference_name, state.system, self._reference_mc(),
+                self.reference_name,
+            )
+            found = self.cache.lookup_estimate(state.ref_key)
+            if found is not None:
+                state.reference = found
+                self._emit(ProgressEvent(state.label, POINT_START))
+                self._emit(
+                    ProgressEvent(
+                        state.label, POINT_DONE, trials=found.trials,
+                        cached=True,
+                    )
+                )
+                self._launch_methods(state)
+                return
+        if self.chunked:
+            state.plan = adaptive_chunk_configs(self.config.mc)
+            state.accumulator = MomentAccumulator(
+                len(state.plan), self.config.mc.stopping
+            )
+            self._emit(
+                ProgressEvent(
+                    state.label, POINT_START, total_chunks=len(state.plan)
+                )
+            )
+            base_count = min(
+                self.config.mc.chunks, self.config.mc.trials,
+                len(state.plan),
+            )
+            self._submit_chunks(state, base_count)
+            return
+        self._emit(ProgressEvent(state.label, POINT_START))
+        if self.executor == "process":
+            future = self.pool.submit(
+                _estimate_task, self.reference_name, state.system,
+                self.config.mc, self.reference_name,
+            )
+        else:
+            future = self.pool.submit(
+                self.reference_estimator.estimate, state.system,
+                self.config,
+            )
+        self.future_meta[future] = ("reference", state.index)
+        self.waiting.add(future)
+
+    def _submit_chunks(self, state: _PointState, count: int) -> None:
+        futures = self.chunk_futures.setdefault(state.index, [])
+        for chunk_index in range(
+            state.submitted, min(state.submitted + count, len(state.plan))
+        ):
+            future = self.pool.submit(
+                system_chunk_moments, state.system, state.plan[chunk_index]
+            )
+            self.future_meta[future] = ("chunk", state.index, chunk_index)
+            futures.append(future)
+            self.waiting.add(future)
+            self.live_chunks += 1
+        state.submitted = len(futures)
+
+    def _launch_methods(self, state: _PointState) -> None:
+        if not self.pipeline_methods or state.methods_launched:
+            return
+        state.methods_launched = True
+        for name in self.method_names:
+            estimator = registry.get(name)
+            if not estimator.supports(state.system):
+                if self.skip_unsupported:
+                    continue
+                raise ConfigurationError(
+                    f"method {name!r} does not support system "
+                    f"{state.label!r}"
+                )
+            # The reference estimate doubles as the method estimate
+            # when the same method is also selected.
+            if name == self.reference_name:
+                state.estimates[name] = state.reference
+                continue
+            if self.cache is not None:
+                key = self.cache.estimate_key(
+                    name, state.system, self._method_mc(estimator),
+                    self.reference_name,
+                )
+                found = self.cache.lookup_estimate(key)
+                if found is not None:
+                    state.estimates[name] = found
+                    self._emit(
+                        ProgressEvent(
+                            state.label, METHOD_DONE, method=name,
+                            trials=found.trials, cached=True,
+                        )
+                    )
+                    continue
+            if self.executor == "process":
+                if estimator.per_component and self.cache is not None:
+                    # A worker would rebuild a cache-free config and
+                    # re-sample every component MTTF per point; for
+                    # sweeps where hundreds of points share components
+                    # (every C of one profile), parent-side memoization
+                    # beats fan-out by orders of magnitude — keep these
+                    # in the parent, exactly as the phased path does.
+                    # Deliberate trade-off: the first point per distinct
+                    # component runs its MC estimate inline and briefly
+                    # stalls the completion loop — never worse than the
+                    # phased schedule, which serialized all of them.
+                    estimate = estimator.estimate(
+                        state.system, self.config
+                    )
+                    state.estimates[name] = estimate
+                    if key is not None:
+                        self.cache.store_estimate(key, estimate)
+                    self._emit(
+                        ProgressEvent(
+                            state.label, METHOD_DONE, method=name,
+                            trials=estimate.trials,
+                        )
+                    )
+                    continue
+                # Workers rebuild a cache-free config; caching stays in
+                # the parent so it needs no cross-process coordination.
+                future = self.pool.submit(
+                    _estimate_task, name, state.system, self.config.mc,
+                    self.reference_name,
+                )
+            else:
+                future = self.pool.submit(
+                    estimator.estimate, state.system, self.config
+                )
+            self.future_meta[future] = ("method", state.index, name)
+            self.waiting.add(future)
+            state.pending_methods.add(name)
+            self._emit(
+                ProgressEvent(state.label, METHOD_STARTED, method=name)
+            )
+
+    # -- completions -------------------------------------------------------
+
+    def _on_chunk(self, future: Future, index: int, chunk_index: int) -> None:
+        self.live_chunks -= 1
+        state = self.points[index]
+        accumulator = state.accumulator
+        if accumulator.done or future.cancelled():
+            # Straggler of an already-resolved point: its moments are
+            # never folded and never counted — merged_chunks is always
+            # the accumulator's fold count, nothing else.
+            return
+        merged_before = accumulator.merged_chunks
+        done = accumulator.add(chunk_index, future.result())
+        if done:
+            if accumulator.satisfied or not self._defer_exhausted():
+                self._finalize_reference(state)
+            # else: exhausted without meeting the rule — stay open for
+            # a budget grant; finalized at the final quiescent barrier
+            # if none arrives.
+            return
+        if accumulator.merged_chunks > merged_before:
+            self._emit(
+                ProgressEvent(
+                    state.label, CHUNK_MERGED,
+                    merged_chunks=accumulator.merged_chunks,
+                    total_chunks=accumulator.total_chunks,
+                    trials=accumulator.moments.count,
+                    rel_stderr=relative_stderr(accumulator.moments),
+                )
+            )
+        if accumulator.merged_chunks == state.submitted:
+            # Every submitted chunk has merged and the target is still
+            # unmet: release the next extension slice. One pool-width
+            # at a time keeps the workers busy without speculating the
+            # whole tail.
+            self._submit_chunks(state, max(1, self.workers))
+
+    def _on_reference(self, future: Future, index: int) -> None:
+        state = self.points[index]
+        state.reference = future.result()
+        if self.cache is not None and state.ref_key is not None:
+            self.cache.store_estimate(state.ref_key, state.reference)
+        self._emit(
+            ProgressEvent(
+                state.label, POINT_DONE, trials=state.reference.trials
+            )
+        )
+        self._launch_methods(state)
+
+    def _on_method(self, future: Future, index: int, name: str) -> None:
+        state = self.points[index]
+        estimate = future.result()
+        state.estimates[name] = estimate
+        state.pending_methods.discard(name)
+        if self.cache is not None:
+            key = self.cache.estimate_key(
+                name, state.system, self._method_mc(registry.get(name)),
+                self.reference_name,
+            )
+            self.cache.store_estimate(key, estimate)
+        self._emit(
+            ProgressEvent(
+                state.label, METHOD_DONE, method=name,
+                trials=estimate.trials,
+            )
+        )
+
+    def _finalize_reference(self, state: _PointState) -> None:
+        accumulator = state.accumulator
+        state.reference = accumulator.estimate(self.mc_label)
+        if self.reallocate:
+            # Unspent plan trials (cancelled or never-submitted chunks)
+            # return to the shared ledger. A straggler chunk that was
+            # already running when the rule fired is credited too: the
+            # ledger tracks the *logical* budget, so the decision stays
+            # a pure function of the configuration.
+            planned = sum(chunk.trials for chunk in state.plan)
+            self.ledger += max(0, planned - accumulator.moments.count)
+        if accumulator.stopped_early:
+            for leftover in self.chunk_futures.get(state.index, ()):
+                leftover.cancel()
+        if self.cache is not None and state.ref_key is not None:
+            self.cache.store_estimate(state.ref_key, state.reference)
+        self._emit(
+            ProgressEvent(
+                state.label, POINT_DONE,
+                merged_chunks=accumulator.merged_chunks,
+                total_chunks=accumulator.total_chunks,
+                trials=accumulator.moments.count,
+                rel_stderr=relative_stderr(accumulator.moments),
+                stopped_early=accumulator.stopped_early,
+            )
+        )
+        self._launch_methods(state)
+
+    # -- budget re-allocation ----------------------------------------------
+
+    def _grant_round(self) -> bool:
+        """Distribute the ledger to the least-converged open points.
+
+        Called only at quiescent barriers. "Least converged" means the
+        largest :meth:`~repro.core.montecarlo.StoppingRule.deficit` —
+        distance from the *configured* targets, so absolute
+        CI-half-width rules rank by half-width, not relative error.
+        Grants are issued round-robin in :func:`grant_chunk_trials`
+        units over candidates ordered worst-deficit first (ties broken
+        by point index); the final grant may be a partial chunk so the
+        ledger is spent exactly. Points without a measurable deficit
+        (censored all-infinite moments — more trials cannot
+        demonstrably help) are never candidates.
+        """
+        rule = self.config.mc.stopping
+        if self.ledger < 1 or rule is None:
+            return False
+        ranked: list[tuple[float, _PointState]] = []
+        for state in self.points:
+            accumulator = state.accumulator
+            if (
+                state.reference is not None
+                or accumulator is None
+                or not accumulator.done
+                or accumulator.satisfied
+                or accumulator.moments is None
+            ):
+                continue
+            deficit = rule.deficit(accumulator.moments)
+            if deficit is not None:
+                ranked.append((deficit, state))
+        if not ranked:
+            return False
+        ranked.sort(key=lambda pair: (-pair[0], pair[1].index))
+        candidates = [state for _deficit, state in ranked]
+        grants: dict[int, list[int]] = {s.index: [] for s in candidates}
+        turn = 0
+        while self.ledger > 0:
+            take = min(self.grant_unit, self.ledger)
+            grants[candidates[turn % len(candidates)].index].append(take)
+            self.ledger -= take
+            turn += 1
+        for state in candidates:
+            sizes = grants[state.index]
+            if not sizes:
+                continue
+            start = len(state.plan)
+            for offset, trials in enumerate(sizes):
+                state.plan.append(
+                    extension_chunk_config(
+                        self.config.mc, start + offset, trials
+                    )
+                )
+            state.accumulator.extend_plan(len(sizes))
+            self._emit(
+                ProgressEvent(
+                    state.label, BUDGET_REALLOCATED,
+                    merged_chunks=state.accumulator.merged_chunks,
+                    total_chunks=state.accumulator.total_chunks,
+                    trials=state.accumulator.moments.count,
+                    rel_stderr=state.accumulator.moments.rel_stderr,
+                    granted_trials=sum(sizes),
+                    granted_chunks=len(sizes),
+                )
+            )
+            self._submit_chunks(state, len(sizes))
+        return True
+
+    def _finalize_stragglers(self) -> bool:
+        """Finalize open points no grant will ever reach."""
+        finalized = False
+        for state in self.points:
+            if (
+                state.reference is None
+                and state.accumulator is not None
+                and state.accumulator.done
+            ):
+                self._finalize_reference(state)
+                finalized = True
+        return finalized
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self) -> tuple[MethodComparison, ...]:
+        self._prewarm()
+        pool_cls = (
+            ProcessPoolExecutor
+            if self.executor == "process"
+            else ThreadPoolExecutor
+        )
+        with pool_cls(max_workers=self.workers) as pool:
+            self.pool = pool
+            for state in self.points:
+                self._start_point(state)
+            while True:
+                if not self.waiting:
+                    if self.chunked:
+                        if self.reallocate and self._grant_round():
+                            continue
+                        if self._finalize_stragglers():
+                            # Finalizing may pipeline method tasks.
+                            continue
+                    break
+                completed, self.waiting = wait(
+                    self.waiting, return_when=FIRST_COMPLETED
+                )
+                for future in completed:
+                    meta = self.future_meta.pop(future)
+                    if meta[0] == "chunk":
+                        self._on_chunk(future, meta[1], meta[2])
+                    elif meta[0] == "reference":
+                        self._on_reference(future, meta[1])
+                    else:
+                        self._on_method(future, meta[1], meta[2])
+                if self.live_chunks == 0 and self.reallocate and (
+                    self.chunked
+                ):
+                    if not self._grant_round():
+                        # No grants possible now and the only ledger
+                        # source (chunked finalizations) is quiet:
+                        # release any still-open points to the method
+                        # stage instead of leaving them idle.
+                        self._finalize_stragglers()
+        comparisons = []
+        for state in self.points:
+            if state.reference is None or state.pending_methods:
+                raise ConfigurationError(
+                    f"scheduler finished with incomplete point "
+                    f"{state.label!r}"
+                )  # pragma: no cover - defensive invariant
+            if self.pipeline_methods:
+                comparisons.append(
+                    MethodComparison(
+                        system_label=state.label,
+                        reference=state.reference,
+                        estimates=state.estimates,
+                    )
+                )
+            else:
+                comparisons.append(
+                    _finish_item(
+                        (state.label, state.system),
+                        state.reference,
+                        self.method_names,
+                        self.reference_name,
+                        self.config,
+                        self.cache,
+                        self.skip_unsupported,
+                    )
+                )
+        return tuple(comparisons)
+
+
 def evaluate_design_space(
     space: Iterable[SpaceItem],
     methods: Sequence[str],
@@ -334,6 +954,8 @@ def evaluate_design_space(
     skip_unsupported: bool = False,
     shard: tuple[int, int] | None = None,
     progress: ProgressCallback | None = None,
+    pipeline_methods: bool = False,
+    reallocate_budget: bool = False,
 ) -> ResultSet:
     """Run ``methods`` against ``reference`` on every system in ``space``.
 
@@ -383,6 +1005,24 @@ def evaluate_design_space(
         Optional callback receiving
         :class:`~repro.methods.progress.ProgressEvent` per grid point
         (and per merged chunk on the streaming process path).
+    pipeline_methods:
+        When True, method estimates are submitted to the pool the
+        moment their point's reference finalizes instead of running in
+        a post-reference phase — the sweep becomes one fully-pipelined
+        stream with no phase barrier. Results are bit-identical to the
+        phased run (method estimates are pure functions of the
+        configuration); only the schedule changes.
+    reallocate_budget:
+        When True (and the Monte-Carlo config carries a
+        :class:`~repro.core.montecarlo.StoppingRule`), trial budget
+        freed by early-stopping points is returned to a shared ledger
+        and re-granted to the least-converged points that exhausted
+        their own budget without meeting the target. Grant decisions
+        fire only at quiescent barriers on in-order fold state, so the
+        numbers stay bit-identical across worker counts and executors —
+        but they *differ* from a non-reallocating run (stragglers get
+        more trials), and a sharded run redistributes within its own
+        shard only. A no-op without a stopping rule.
     """
     items = _normalize_space(space)
     if shard is not None:
@@ -411,40 +1051,12 @@ def evaluate_design_space(
     )
     reference_estimator = registry.get(reference_name)
 
-    def cached_estimate(name, estimator, system) -> MTTFEstimate:
-        mc = config.mc if estimator.is_stochastic else None
-        if cache is None:
-            return estimator.estimate(system, config)
-        return cache.get_or_compute_estimate(
-            name,
-            system,
-            mc,
-            reference_name,
-            lambda: estimator.estimate(system, config),
-        )
-
     def finish_item(
         item: tuple[str, SystemModel], ref: MTTFEstimate
     ) -> MethodComparison:
-        label, system = item
-        estimates = {}
-        for name in method_names:
-            estimator = registry.get(name)
-            if not estimator.supports(system):
-                if skip_unsupported:
-                    continue
-                raise ConfigurationError(
-                    f"method {name!r} does not support system {label!r}"
-                )
-            # The reference estimate doubles as the method estimate when
-            # the same method is also selected.
-            estimates[name] = (
-                ref
-                if name == reference_name
-                else cached_estimate(name, estimator, system)
-            )
-        return MethodComparison(
-            system_label=label, reference=ref, estimates=estimates
+        return _finish_item(
+            item, ref, method_names, reference_name, config, cache,
+            skip_unsupported,
         )
 
     def evaluate_one(item: tuple[str, SystemModel]) -> MethodComparison:
@@ -466,7 +1078,23 @@ def evaluate_design_space(
         )
         return finish_item(item, ref)
 
-    if executor == "process":
+    if pipeline_methods or reallocate_budget:
+        comparisons = _PipelinedScheduler(
+            items=items,
+            method_names=method_names,
+            reference_name=reference_name,
+            reference_estimator=reference_estimator,
+            config=config,
+            cache=cache,
+            workers=workers,
+            executor=executor,
+            progress=progress,
+            pipeline_methods=pipeline_methods,
+            reallocate_budget=reallocate_budget,
+            skip_unsupported=skip_unsupported,
+            shard=shard,
+        ).run()
+    elif executor == "process":
         references = _process_references(
             items, reference_name, reference_estimator, config, cache,
             workers, progress,
@@ -480,10 +1108,21 @@ def evaluate_design_space(
             comparisons = tuple(pool.map(evaluate_one, items))
     else:
         comparisons = tuple(evaluate_one(item) for item in items)
+    token = mc_token(config.mc)
+    if (
+        reallocate_budget
+        and config.mc.adaptive
+        and reference_name == "monte_carlo"
+    ):
+        # Re-allocated references depend on the whole sweep's budget
+        # ledger, so these numbers are not interchangeable with a
+        # non-reallocating run of the same MC configuration — tag the
+        # token so merge_result_sets refuses to interleave the two.
+        token += "+realloc"
     return ResultSet(
         comparisons=comparisons,
         methods=tuple(method_names),
         reference_method=reference_name,
         shard=shard,
-        mc_token=mc_token(config.mc),
+        mc_token=token,
     )

@@ -82,17 +82,29 @@ class DiskCache:
 
     def get(self, key: str) -> dict | None:
         """The entry's value dict, or ``None`` when absent/unreadable."""
+        value = self.peek(key)
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def peek(self, key: str) -> dict | None:
+        """Like :meth:`get` but silent — no hit/miss accounting.
+
+        The shard-aware prewarm pass uses this to pre-touch every key
+        its shard will need without perturbing the counters a warm
+        rerun is judged by (``misses=0``). A torn or foreign file reads
+        as absent, exactly as in :meth:`get`.
+        """
         path = self._path(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 entry = json.load(handle)
         except (OSError, ValueError):
-            self.misses += 1
             return None
         if entry.get("schema") != ENTRY_SCHEMA or "value" not in entry:
-            self.misses += 1
             return None
-        self.hits += 1
         return entry["value"]
 
     def put(self, key: str, value: dict) -> None:

@@ -3,10 +3,11 @@
 The streaming engine (:func:`repro.methods.batch.evaluate_design_space`)
 reports its work through a caller-supplied callback so long sweeps are
 observable while they run — which grid point is being estimated, how
-many trial chunks have merged, the precision reached so far, and
-whether an adaptive run stopped early. The CLI's progress reporter
-(:mod:`repro.harness.runner`) is one consumer; tests and notebook
-monitors are others.
+many trial chunks have merged, the precision reached so far, whether an
+adaptive run stopped early, when a method estimate was pipelined into
+the stream, and where re-allocated trial budget went. The CLI's
+progress reporter (:mod:`repro.harness.runner`) is one consumer; tests
+and notebook monitors are others.
 
 Events are plain frozen dataclasses; the callback runs inline on
 whichever thread finishes the work, so consumers should be cheap and
@@ -24,6 +25,14 @@ POINT_START = "point-start"
 CHUNK_MERGED = "chunk"
 POINT_DONE = "point-done"
 
+#: Pipelined-scheduler events: one method estimate entering/leaving the
+#: pool, trial budget re-allocated to a straggler, and the one-shot
+#: disk-cache prewarm a sharded sweep performs before scheduling work.
+METHOD_STARTED = "method-start"
+METHOD_DONE = "method-done"
+BUDGET_REALLOCATED = "budget-reallocated"
+CACHE_PREWARMED = "prewarm"
+
 
 @dataclass(frozen=True)
 class ProgressEvent:
@@ -32,16 +41,26 @@ class ProgressEvent:
     Attributes
     ----------
     label:
-        The grid point's system label.
+        The grid point's system label (sweep-wide events such as
+        ``"prewarm"`` use a run-level label instead).
     kind:
         ``"point-start"`` (reference estimation begins),
         ``"chunk"`` (one more trial chunk folded into the running
-        moments), or ``"point-done"`` (reference estimate final).
+        moments), ``"point-done"`` (reference estimate final),
+        ``"method-start"`` / ``"method-done"`` (one pipelined method
+        estimate entered / left the pool),
+        ``"budget-reallocated"`` (cancelled-chunk budget granted to
+        this point), or ``"prewarm"`` (shard-aware disk-cache prewarm
+        completed before scheduling).
     merged_chunks / total_chunks:
         Streaming position within the point's chunk plan. ``0/0`` for
-        unchunked or non-stochastic references.
+        unchunked or non-stochastic references. ``merged_chunks`` is
+        always the accumulator's *fold* count — chunks whose futures
+        were cancelled (or arrived after the point finalized) are never
+        counted.
     trials:
-        Trials merged so far (the final trial count on ``point-done``).
+        Trials merged so far (the final trial count on ``point-done``;
+        the estimate's trial count on ``method-done``).
     rel_stderr:
         Achieved relative standard error of the running estimate, or
         ``None`` while undefined (no finite moments yet).
@@ -49,8 +68,16 @@ class ProgressEvent:
         On ``point-done``: True when a stopping rule ended the point
         before its full chunk plan.
     cached:
-        On ``point-done``: True when the estimate came from the cache
-        and no sampling ran at all.
+        On ``point-done`` / ``method-done``: True when the estimate
+        came from the cache and no sampling ran at all.
+    method:
+        On ``method-start`` / ``method-done``: the method name.
+    granted_trials / granted_chunks:
+        On ``budget-reallocated``: how much freed budget this point
+        received, in trials and in extension chunks.
+    warmed_entries:
+        On ``prewarm``: disk entries pulled into the in-memory cache
+        before any work was scheduled.
     """
 
     label: str
@@ -61,6 +88,10 @@ class ProgressEvent:
     rel_stderr: float | None = None
     stopped_early: bool = False
     cached: bool = False
+    method: str | None = None
+    granted_trials: int = 0
+    granted_chunks: int = 0
+    warmed_entries: int = 0
 
 
 #: The callback shape ``evaluate_design_space(progress=...)`` accepts.
