@@ -29,7 +29,14 @@ from pathlib import Path
 
 from repro.core import Component, MonteCarloConfig, StoppingRule, SystemModel
 from repro.masking import busy_idle_profile
-from repro.methods import DiskCache, ComponentCache, evaluate_design_space
+from repro.methods import (
+    BudgetLedger,
+    ComponentCache,
+    DiskCache,
+    LedgerState,
+    evaluate_design_space,
+    merge_result_sets,
+)
 from repro.units import SECONDS_PER_DAY
 
 
@@ -183,6 +190,131 @@ def benchmark_cases(trials: int, points: int, workers: int):
     return cases
 
 
+def fleet_cases(trials: int, points: int, shards: int = 2):
+    """Ledger-coordinated vs independent co-running shards (PR 5).
+
+    Both variants run the same adaptive sweep as ``shards`` co-running
+    reallocating shards (threads standing in for machines); only the
+    cross-shard ledger differs. The grid is deliberately *asymmetric*:
+    exactly one hard point (C=2, the largest MTTF) at global index 0,
+    so it lands on shard 0 while every other shard's early stoppers
+    free budget that shard-local re-allocation can only strand. The
+    tight absolute half-width target keeps the straggler hungry past
+    its own shard's freed budget — the regime where coordination
+    matters. Each case records total trials spent, wall-clock, and the
+    worst point's achieved precision, so the artifact shows what the
+    fleet bought: the coordinated run converts stranded budget into
+    precision at the fleet's worst point.
+    """
+    import threading
+
+    profile = busy_idle_profile(0.5 * SECONDS_PER_DAY, SECONDS_PER_DAY)
+    rate = 2.0 / SECONDS_PER_DAY
+    easy_counts = (100, 5000, 50000, 8, 1000)
+    counts = [2] + [
+        easy_counts[i % len(easy_counts)] for i in range(points - 1)
+    ]
+    space = [
+        (
+            f"day/C={count}/v={i}",
+            SystemModel(
+                [
+                    Component(
+                        "node",
+                        rate * (1.0 + 0.01 * i),
+                        profile,
+                        multiplicity=count,
+                    )
+                ]
+            ),
+        )
+        for i, count in enumerate(counts)
+    ]
+    mc = MonteCarloConfig(
+        trials=trials,
+        seed=7,
+        chunks=8,
+        stopping=StoppingRule(target_ci_halfwidth=100.0),
+    )
+
+    def run_shards(ledger_dir: str | None):
+        results = [None] * shards
+
+        def one(index):
+            ledger = None
+            if ledger_dir is not None:
+                ledger = BudgetLedger(
+                    Path(ledger_dir) / "bench.ledger",
+                    shard=(index, shards),
+                    poll_interval=0.01,
+                    timeout=300.0,
+                )
+            results[index] = evaluate_design_space(
+                space,
+                methods=["first_principles"],
+                mc_config=mc,
+                shard=(index, shards),
+                workers=2,
+                pipeline_methods=True,
+                reallocate_budget=True,
+                cache=False,
+                budget_ledger=ledger,
+            )
+
+        threads = [
+            threading.Thread(target=one, args=(index,))
+            for index in range(shards)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        seconds = time.perf_counter() - started
+        return seconds, merge_result_sets(results)
+
+    cases = []
+    for name, ledgered in (
+        ("xshard_fleet_independent", False),
+        ("xshard_fleet_ledger", True),
+    ):
+        if ledgered:
+            with tempfile.TemporaryDirectory(
+                prefix="bench-ledger-"
+            ) as ledger_dir:
+                seconds, merged = run_shards(ledger_dir)
+                totals = LedgerState.scan(
+                    Path(ledger_dir) / "bench.ledger", shards
+                ).totals()
+        else:
+            seconds, merged = run_shards(None)
+            totals = None
+        halfwidths = [
+            mc.stopping.z * c.reference.std_error_seconds
+            for c in merged
+        ]
+        record = {
+            "name": name,
+            "seconds": round(seconds, 4),
+            "trials": trials,
+            "chunks": 8,
+            "shards": shards,
+            "target_ci_halfwidth": mc.stopping.target_ci_halfwidth,
+            "total_reference_trials": sum(
+                merged.reference_trials().values()
+            ),
+            "worst_ci_halfwidth_seconds": round(max(halfwidths), 2),
+        }
+        if totals is not None:
+            record["ledger"] = {
+                "freed_trials": totals["freed_trials"],
+                "claimed_trials": totals["claimed_trials"],
+                "rounds": totals["rounds"],
+            }
+        cases.append(record)
+    return cases
+
+
 def run_benchmarks(argv: list[str] | None = None) -> Path:
     parser = argparse.ArgumentParser(
         description="Time the estimation engine; write BENCH_<rev>.json"
@@ -243,6 +375,21 @@ def run_benchmarks(argv: list[str] | None = None) -> Path:
                 }
             )
             print(f"sweep_disk_cache_{phase:39s} {seconds:8.3f}s")
+
+    # Cross-shard fleet: ledger-coordinated vs independent shards.
+    for record in fleet_cases(args.trials, args.points):
+        results.append(record)
+        extra = ""
+        if "ledger" in record:
+            extra = (
+                f"  (claimed {record['ledger']['claimed_trials']} of "
+                f"{record['ledger']['freed_trials']} freed trials)"
+            )
+        print(
+            f"{record['name']:44s} {record['seconds']:8.3f}s  "
+            f"trials={record['total_reference_trials']} "
+            f"worst_hw={record['worst_ci_halfwidth_seconds']}s{extra}"
+        )
 
     payload = {
         "schema": "repro.bench/v1",

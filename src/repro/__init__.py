@@ -83,12 +83,15 @@ from .core import (
 from . import methods
 from .methods import (
     Analysis,
+    BudgetLedger,
     ComponentCache,
     DiskCache,
     MethodConfig,
     ResultSet,
     analyze,
     evaluate_design_space,
+    ledger_path,
+    merge_result_sets,
     register_method,
 )
 from .masking import (
@@ -115,6 +118,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Analysis",
+    "BudgetLedger",
     "ComponentCache",
     "Component",
     "DiskCache",
@@ -123,6 +127,8 @@ __all__ = [
     "ResultSet",
     "analyze",
     "evaluate_design_space",
+    "ledger_path",
+    "merge_result_sets",
     "methods",
     "register_method",
     "MonteCarloConfig",

@@ -166,6 +166,7 @@ def component_sweep(
     progress=None,
     pipeline_methods: bool = False,
     reallocate_budget: bool = False,
+    budget_ledger=None,
 ) -> SweepOutcome:
     """AVF-step sweep: single component (C = 1), as in Figure 5 / §5.2.
 
@@ -173,7 +174,10 @@ def component_sweep(
     (Section 5.2), points are parameterised by it directly.
     ``shard=(i, n)`` evaluates this machine's round-robin share of the
     grid (the outcome's ``result_set`` records the shard and merges
-    back with :func:`repro.methods.merge_result_sets`).
+    back with :func:`repro.methods.merge_result_sets`);
+    ``budget_ledger`` (a :class:`repro.methods.BudgetLedger`) lets the
+    co-running shards of one fleet coordinate freed trial budget
+    through the shared cache directory.
     """
     from ..methods import evaluate_design_space, shard_select
 
@@ -208,6 +212,7 @@ def component_sweep(
         progress=progress,
         pipeline_methods=pipeline_methods,
         reallocate_budget=reallocate_budget,
+        budget_ledger=budget_ledger,
     )
     results = [
         SweepResult(
@@ -239,6 +244,7 @@ def system_sweep(
     progress=None,
     pipeline_methods: bool = False,
     reallocate_budget: bool = False,
+    budget_ledger=None,
 ) -> SweepOutcome:
     """SOFR-step sweep over (workload, N x S, C), as in Figure 6.
 
@@ -247,7 +253,7 @@ def system_sweep(
     engine's component cache computes each distinct (workload, N x S)
     component once and re-uses it for every C. Every system here is
     homogeneous (C identical components), matching the paper's cluster
-    experiments. ``shard``/``progress`` behave as in
+    experiments. ``shard``/``progress``/``budget_ledger`` behave as in
     :func:`component_sweep`.
     """
     from ..methods import evaluate_design_space, shard_select
@@ -296,6 +302,7 @@ def system_sweep(
         progress=progress,
         pipeline_methods=pipeline_methods,
         reallocate_budget=reallocate_budget,
+        budget_ledger=budget_ledger,
     )
     results = [
         SweepResult(

@@ -477,6 +477,57 @@ def extension_chunk_config(
     )
 
 
+def extension_chunk_configs(
+    config: MonteCarloConfig, start: int, sizes: Sequence[int]
+) -> list[MonteCarloConfig]:
+    """The extension chunks ``start .. start+len(sizes)-1`` of a plan.
+
+    One budget grant appends these to a point's chunk plan; because
+    each chunk is :func:`extension_chunk_config` at its own index, a
+    plan grown by many grants — local re-allocation rounds or
+    cross-shard ledger claims, in any mixture — equals the plan one
+    up-front extension to the same total budget would have produced.
+    """
+    return [
+        extension_chunk_config(config, start + offset, trials)
+        for offset, trials in enumerate(sizes)
+    ]
+
+
+def allocate_grants(
+    pool: int,
+    demands: Sequence[tuple[float, int]],
+    unit: int,
+) -> dict[int, list[int]]:
+    """Deterministically split freed trial budget over ranked demands.
+
+    The single allocation policy behind both the pipelined scheduler's
+    local budget re-allocation and the cross-shard ledger: ``demands``
+    are ``(deficit, key)`` pairs (keys are point indices — local to one
+    scheduler, or global across a sharded fleet); candidates are
+    ordered worst-deficit first with ties broken by ascending key, and
+    ``pool`` trials are granted round-robin in ``unit``-sized chunks
+    (the final grant may be partial so the pool is spent exactly).
+    Returns ``key -> chunk sizes`` for every key that received budget.
+    A pure function of its arguments: every shard of a fleet computes
+    the identical allocation from the identical ledger state.
+    """
+    if unit < 1:
+        raise EstimationError(f"grant unit must be >= 1, got {unit}")
+    if pool < 1 or not demands:
+        return {}
+    ranked = sorted(demands, key=lambda pair: (-pair[0], pair[1]))
+    keys = [key for _deficit, key in ranked]
+    grants: dict[int, list[int]] = {key: [] for key in keys}
+    turn = 0
+    while pool > 0:
+        take = min(unit, pool)
+        grants[keys[turn % len(keys)]].append(take)
+        pool -= take
+        turn += 1
+    return {key: sizes for key, sizes in grants.items() if sizes}
+
+
 class MomentAccumulator:
     """Streaming, order-independent reducer of chunk moments.
 

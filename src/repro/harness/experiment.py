@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..errors import ConfigurationError
-from ..methods import ComponentCache, DiskCache
+from ..methods import BudgetLedger, ComponentCache, DiskCache, ledger_path
 from .tables import Table
 
 
@@ -15,6 +15,46 @@ def make_cache(cache_dir: str | None) -> ComponentCache:
     if cache_dir:
         return ComponentCache(disk=DiskCache(cache_dir))
     return ComponentCache()
+
+
+def make_ledger(
+    budget_ledger: str | None,
+    cache_dir: str | None,
+    shard: tuple[int, int] | None,
+    replay: bool = False,
+    timeout: float | None = None,
+) -> BudgetLedger | None:
+    """A sharded fleet's cross-shard budget ledger, or None.
+
+    ``budget_ledger`` is the CLI's ``--budget-ledger RUN_ID`` — a name
+    every shard of one fleet passes identically so they all append to
+    the same ``xshard-<RUN_ID>.ledger`` file inside the shared
+    ``--cache-dir``. ``replay`` is ``--ledger-replay``: follow a
+    completed ledger deterministically instead of coordinating live.
+    ``timeout`` is ``--ledger-timeout``: the rendezvous patience in
+    seconds — a shard's first fleet barrier waits out its slowest
+    sibling's *entire* initial sweep, so paper-scale fleets need more
+    than the default.
+    """
+    if not budget_ledger:
+        return None
+    if cache_dir is None:
+        raise ConfigurationError(
+            "--budget-ledger needs --cache-dir: the ledger file lives "
+            "in the fleet's shared cache directory"
+        )
+    if shard is None:
+        raise ConfigurationError(
+            "--budget-ledger needs --shard i/N: the ledger coordinates "
+            "co-running shards"
+        )
+    kwargs = {} if timeout is None else {"timeout": timeout}
+    return BudgetLedger(
+        ledger_path(cache_dir, budget_ledger),
+        shard=shard,
+        replay=replay,
+        **kwargs,
+    )
 
 
 def cache_note(

@@ -57,7 +57,12 @@ from ..ser.rates import component_rate_per_second
 from ..units import SECONDS_PER_YEAR
 from ..workloads.longrun import combined_workload, day_workload, week_workload
 from ..workloads.spec import SPEC_FP_NAMES, SPEC_INT_NAMES
-from .experiment import ExperimentResult, cache_note, make_cache
+from .experiment import (
+    ExperimentResult,
+    cache_note,
+    make_cache,
+    make_ledger,
+)
 from .figures import render_series
 from .spec_setup import (
     masking_trace_for,
@@ -631,6 +636,9 @@ def run_fig5(
     progress=None,
     pipeline_methods: bool = False,
     reallocate_budget: bool = False,
+    budget_ledger: str | None = None,
+    ledger_replay: bool = False,
+    ledger_timeout: float | None = None,
     **_,
 ):
     workloads = _synthesized_workloads()
@@ -646,6 +654,10 @@ def run_fig5(
         progress=progress,
         pipeline_methods=pipeline_methods,
         reallocate_budget=reallocate_budget,
+        budget_ledger=make_ledger(
+            budget_ledger, cache_dir, shard, ledger_replay,
+            ledger_timeout,
+        ),
     )
     table = Table(
         "Figure 5: AVF-step error vs Monte Carlo, synthesized workloads",
@@ -713,6 +725,9 @@ def run_fig6a(
     progress=None,
     pipeline_methods: bool = False,
     reallocate_budget: bool = False,
+    budget_ledger: str | None = None,
+    ledger_replay: bool = False,
+    ledger_timeout: float | None = None,
     **_,
 ):
     workloads = {
@@ -732,6 +747,10 @@ def run_fig6a(
         progress=progress,
         pipeline_methods=pipeline_methods,
         reallocate_budget=reallocate_budget,
+        budget_ledger=make_ledger(
+            budget_ledger, cache_dir, shard, ledger_replay,
+            ledger_timeout,
+        ),
     )
     table = Table(
         "Figure 6(a): SOFR-step error vs Monte Carlo, SPEC workloads "
@@ -789,6 +808,9 @@ def run_fig6b(
     progress=None,
     pipeline_methods: bool = False,
     reallocate_budget: bool = False,
+    budget_ledger: str | None = None,
+    ledger_replay: bool = False,
+    ledger_timeout: float | None = None,
     **_,
 ):
     workloads = _synthesized_workloads()
@@ -824,6 +846,13 @@ def run_fig6b(
         progress=progress, pipeline_methods=pipeline_methods,
         reallocate_budget=reallocate_budget,
     )
+    # The two passes are separate sweeps, so a fleet coordinates each
+    # through its own ledger file (same run id, per-pass suffix); every
+    # shard runs the passes in the same order, so the rounds pair up.
+    pass_ledger = lambda suffix: make_ledger(
+        f"{budget_ledger}.{suffix}" if budget_ledger else None,
+        cache_dir, shard, ledger_replay, ledger_timeout,
+    )
     # Zero-phase pass: the SOFR step (fed zero-phase MC component MTTFs,
     # memoized once per distinct component across every C) against the
     # zero-phase Monte-Carlo reference.
@@ -834,6 +863,7 @@ def run_fig6b(
         mc_config=_mc_config(
             trials, chunks=mc_chunks, target_stderr=target_stderr
         ),
+        budget_ledger=pass_ledger("zero"),
         **engine,
     )
     # Random-phase pass: only the reference changes convention; the SOFR
@@ -850,6 +880,7 @@ def run_fig6b(
             ),
             start_phase="random",
         ),
+        budget_ledger=pass_ledger("random"),
         **engine,
     )
     key_points: dict = {}
@@ -1018,6 +1049,9 @@ def run_sec54(
     progress=None,
     pipeline_methods: bool = False,
     reallocate_budget: bool = False,
+    budget_ledger: str | None = None,
+    ledger_replay: bool = False,
+    ledger_timeout: float | None = None,
     **_,
 ):
     workloads = _synthesized_workloads()
@@ -1061,6 +1095,10 @@ def run_sec54(
         progress=progress,
         pipeline_methods=pipeline_methods,
         reallocate_budget=reallocate_budget,
+        budget_ledger=make_ledger(
+            budget_ledger, cache_dir, shard, ledger_replay,
+            ledger_timeout,
+        ),
     )
     table = Table(
         "Section 5.4: SoftArch error vs Monte Carlo / exact",

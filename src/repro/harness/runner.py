@@ -45,6 +45,23 @@ finalizes (no post-reference phase; results bit-identical), and
 early-stopping points to the least-converged stragglers (pair it with
 ``--target-stderr``; deterministic across workers and executors, and a
 sharded run redistributes within its own shard only).
+
+The cross-shard budget ledger removes that last restriction:
+``--budget-ledger RUN_ID`` makes K co-running shards (same RUN_ID,
+same shared ``--cache-dir``) coordinate their freed trial budget
+through one append-only ledger file — budget freed on any machine
+reaches the fleet's least-converged point, the merged result is
+deterministic given the ledger, and ``--ledger-replay`` re-derives any
+shard's run from a completed ledger bit-identically (see
+docs/SCHEDULER.md and the sharded-fleet recipe in EXPERIMENTS.md)::
+
+    repro-experiments fig5 --shard 0/2 --cache-dir /shared/cache \\
+        --target-stderr 0.02 --reallocate-budget \\
+        --budget-ledger run1 --json shard0.json &   # machine A
+    repro-experiments fig5 --shard 1/2 --cache-dir /shared/cache \\
+        --target-stderr 0.02 --reallocate-budget \\
+        --budget-ledger run1 --json shard1.json     # machine B
+    repro-experiments merge shard0.json shard1.json --json full.json
 """
 
 from __future__ import annotations
@@ -105,6 +122,11 @@ class ProgressReporter:
             parts.append(
                 f"budget +{event.granted_trials} trials "
                 f"({event.granted_chunks} chunks)"
+            )
+        elif event.kind == "budget-claimed":
+            parts.append(
+                f"budget +{event.granted_trials} trials "
+                f"({event.granted_chunks} chunks) [cross-shard]"
             )
         elif event.kind == "prewarm":
             parts.append(f"prewarmed {event.warmed_entries} cache entries")
@@ -253,6 +275,38 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workers/--executor)",
     )
     parser.add_argument(
+        "--budget-ledger",
+        metavar="RUN_ID",
+        default=None,
+        help="coordinate trial budget across co-running shards through "
+        "an append-only ledger file in the shared --cache-dir: every "
+        "shard of one fleet passes the same RUN_ID (plus --shard i/N, "
+        "--target-stderr and --reallocate-budget) and budget freed by "
+        "any shard's early-stopping points reaches the fleet's "
+        "least-converged point. Honoured by the adaptive Monte-Carlo "
+        "sweeps (fig5, fig6a, fig6b, sec5.4); merged results are "
+        "deterministic given the ledger and tagged +xshard so merge "
+        "only combines ledger-coordinated shards with each other.",
+    )
+    parser.add_argument(
+        "--ledger-replay",
+        action="store_true",
+        help="replay a completed --budget-ledger run instead of "
+        "coordinating live: recorded rounds drive the identical grant "
+        "schedule with no waiting, reproducing each shard's live "
+        "results bit-for-bit (fails loudly on any divergence)",
+    )
+    parser.add_argument(
+        "--ledger-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="rendezvous patience for --budget-ledger fleets (default "
+        "600): a shard's first fleet barrier waits out its slowest "
+        "sibling's entire initial sweep, so paper-scale fleets need "
+        "more",
+    )
+    parser.add_argument(
         "--progress",
         action="store_true",
         help="stream per-point progress lines to stderr as trial "
@@ -316,6 +370,38 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
 
+    if args.ledger_replay and not args.budget_ledger:
+        print(
+            "--ledger-replay needs --budget-ledger RUN_ID (which "
+            "recorded fleet should be replayed?)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.budget_ledger:
+        missing = [
+            flag
+            for flag, value in (
+                ("--shard i/N", args.shard),
+                ("--cache-dir", args.cache_dir),
+                ("--target-stderr", args.target_stderr),
+            )
+            if value is None
+        ]
+        if missing:
+            print(
+                f"--budget-ledger needs {', '.join(missing)}: the "
+                "ledger coordinates adaptive co-running shards through "
+                "the shared cache directory",
+                file=sys.stderr,
+            )
+            return 2
+        if not args.reallocate_budget:
+            print(
+                "note: --budget-ledger implies --reallocate-budget",
+                file=sys.stderr,
+            )
+            args.reallocate_budget = True
+
     run_kwargs: dict = {
         "trials": args.trials,
         "workers": args.workers,
@@ -326,6 +412,9 @@ def main(argv: list[str] | None = None) -> int:
         "shard": args.shard,
         "pipeline_methods": args.pipeline_methods,
         "reallocate_budget": args.reallocate_budget,
+        "budget_ledger": args.budget_ledger,
+        "ledger_replay": args.ledger_replay,
+        "ledger_timeout": args.ledger_timeout,
     }
     if args.progress:
         run_kwargs["progress"] = ProgressReporter()

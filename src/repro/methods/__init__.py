@@ -33,14 +33,18 @@ from . import adapters as _adapters  # noqa: F401 - populates the registry
 from . import uncore as _uncore  # noqa: F401 - registers uncore_ecc
 from .batch import evaluate_design_space, shard_select
 from .facade import Analysis, analyze
+from .ledger import BudgetLedger, LedgerState, ledger_path
 from .progress import ProgressEvent
 from .results import ResultSet, merge_result_sets
 
 __all__ = [
     "Analysis",
+    "BudgetLedger",
     "ComponentCache",
     "DiskCache",
     "Estimator",
+    "LedgerState",
+    "ledger_path",
     "FunctionEstimator",
     "MethodConfig",
     "ProgressEvent",

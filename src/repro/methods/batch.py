@@ -58,7 +58,8 @@ from ..core.montecarlo import (
     MomentAccumulator,
     MonteCarloConfig,
     adaptive_chunk_configs,
-    extension_chunk_config,
+    allocate_grants,
+    extension_chunk_configs,
     grant_chunk_trials,
     system_chunk_moments,
 )
@@ -68,7 +69,9 @@ from ..reliability.metrics import MTTFEstimate
 from . import registry
 from .base import ComponentCache, MethodConfig
 from .cache import mc_token
+from .ledger import BudgetLedger
 from .progress import (
+    BUDGET_CLAIMED,
     BUDGET_REALLOCATED,
     CACHE_PREWARMED,
     CHUNK_MERGED,
@@ -437,8 +440,20 @@ class _PipelinedScheduler:
     executor, or completion order. Extension chunk seeds are spawned by
     chunk index (:func:`~repro.core.montecarlo.extension_chunk_config`),
     so grants preserve every previously drawn sample. Within one
-    invocation the budget is conserved; a *sharded* run redistributes
-    within its own shard only (see DESIGN.md).
+    invocation the budget is conserved.
+
+    A plain sharded run redistributes within its own shard only. With
+    a :class:`~repro.methods.ledger.BudgetLedger` attached
+    (``budget_ledger=...``), the quiescent barriers become *fleet*
+    barriers instead: the shard publishes its freed budget and open
+    points to the shared ledger file, waits for its co-running
+    siblings' rounds, and every shard computes the identical global
+    allocation (worst deficit first across the whole fleet, ties by
+    global point index) with the same
+    :func:`~repro.core.montecarlo.allocate_grants` policy the local
+    path uses — N shards behave as one work-conserving fleet, and the
+    grant schedule is deterministic given the ledger contents (see
+    :mod:`repro.methods.ledger` and docs/SCHEDULER.md).
     """
 
     def __init__(
@@ -456,6 +471,7 @@ class _PipelinedScheduler:
         reallocate_budget: bool,
         skip_unsupported: bool,
         shard: tuple[int, int] | None,
+        budget_ledger: BudgetLedger | None = None,
     ) -> None:
         self.method_names = method_names
         self.reference_name = reference_name
@@ -487,8 +503,16 @@ class _PipelinedScheduler:
         )
         self.mc_label = f"monte_carlo[{mc.method}]"
         self.grant_unit = grant_chunk_trials(mc)
-        #: Freed trial budget awaiting re-allocation.
+        #: Freed trial budget awaiting re-allocation (or, with a
+        #: cross-shard ledger, awaiting publication to the fleet pool).
         self.ledger = 0
+        #: Cross-shard coordination (None: shard-local re-allocation).
+        self.xledger = budget_ledger
+        self.xshard_round = 0
+        self.xshard_active = budget_ledger is not None
+        #: Points finalized since the last ledger publication:
+        #: ``(global index, trials)`` audit records.
+        self._xshard_converged: list[tuple[int, int]] = []
         self.pool = None
         self.waiting: set[Future] = set()
         self.future_meta: dict[Future, tuple] = {}
@@ -774,6 +798,13 @@ class _PipelinedScheduler:
         if accumulator.stopped_early:
             for leftover in self.chunk_futures.get(state.index, ()):
                 leftover.cancel()
+        if self.xledger is not None:
+            self._xshard_converged.append(
+                (
+                    self._global_index(state.index),
+                    accumulator.moments.count,
+                )
+            )
         if self.cache is not None and state.ref_key is not None:
             self.cache.store_estimate(state.ref_key, state.reference)
         self._emit(
@@ -790,23 +821,20 @@ class _PipelinedScheduler:
 
     # -- budget re-allocation ----------------------------------------------
 
-    def _grant_round(self) -> bool:
-        """Distribute the ledger to the least-converged open points.
+    def _open_candidates(self) -> list[tuple[float, _PointState]]:
+        """Open, unsatisfied points ranked least-converged first.
 
-        Called only at quiescent barriers. "Least converged" means the
-        largest :meth:`~repro.core.montecarlo.StoppingRule.deficit` —
-        distance from the *configured* targets, so absolute
-        CI-half-width rules rank by half-width, not relative error.
-        Grants are issued round-robin in :func:`grant_chunk_trials`
-        units over candidates ordered worst-deficit first (ties broken
-        by point index); the final grant may be a partial chunk so the
-        ledger is spent exactly. Points without a measurable deficit
-        (censored all-infinite moments — more trials cannot
-        demonstrably help) are never candidates.
+        "Least converged" means the largest
+        :meth:`~repro.core.montecarlo.StoppingRule.deficit` — distance
+        from the *configured* targets, so absolute CI-half-width rules
+        rank by half-width, not relative error. Ties break by point
+        index. Points without a measurable deficit (censored
+        all-infinite moments — more trials cannot demonstrably help)
+        are never candidates.
         """
         rule = self.config.mc.stopping
-        if self.ledger < 1 or rule is None:
-            return False
+        if rule is None:
+            return []
         ranked: list[tuple[float, _PointState]] = []
         for state in self.points:
             accumulator = state.accumulator
@@ -821,42 +849,146 @@ class _PipelinedScheduler:
             deficit = rule.deficit(accumulator.moments)
             if deficit is not None:
                 ranked.append((deficit, state))
+        ranked.sort(key=lambda pair: (-pair[0], pair[1].index))
+        return ranked
+
+    def _apply_grant(
+        self, state: _PointState, sizes: Sequence[int], kind: str
+    ) -> None:
+        """Extend one point's plan with granted chunks and submit them.
+
+        ``kind`` distinguishes the funding pool in the progress stream:
+        ``budget-reallocated`` for shard-local grants,
+        ``budget-claimed`` for cross-shard ledger grants.
+        """
+        state.plan.extend(
+            extension_chunk_configs(
+                self.config.mc, len(state.plan), sizes
+            )
+        )
+        state.accumulator.extend_plan(len(sizes))
+        self._emit(
+            ProgressEvent(
+                state.label, kind,
+                merged_chunks=state.accumulator.merged_chunks,
+                total_chunks=state.accumulator.total_chunks,
+                trials=state.accumulator.moments.count,
+                rel_stderr=state.accumulator.moments.rel_stderr,
+                granted_trials=sum(sizes),
+                granted_chunks=len(sizes),
+            )
+        )
+        self._submit_chunks(state, len(sizes))
+
+    def _grant_round(self) -> bool:
+        """Distribute the local ledger to the least-converged points.
+
+        Called only at quiescent barriers. Grants are computed by
+        :func:`~repro.core.montecarlo.allocate_grants` — round-robin in
+        :func:`grant_chunk_trials` units over the ranked candidates,
+        spending the ledger exactly (the final grant may be a partial
+        chunk).
+        """
+        if self.ledger < 1:
+            return False
+        ranked = self._open_candidates()
         if not ranked:
             return False
-        ranked.sort(key=lambda pair: (-pair[0], pair[1].index))
-        candidates = [state for _deficit, state in ranked]
-        grants: dict[int, list[int]] = {s.index: [] for s in candidates}
-        turn = 0
-        while self.ledger > 0:
-            take = min(self.grant_unit, self.ledger)
-            grants[candidates[turn % len(candidates)].index].append(take)
-            self.ledger -= take
-            turn += 1
-        for state in candidates:
-            sizes = grants[state.index]
-            if not sizes:
-                continue
-            start = len(state.plan)
-            for offset, trials in enumerate(sizes):
-                state.plan.append(
-                    extension_chunk_config(
-                        self.config.mc, start + offset, trials
-                    )
-                )
-            state.accumulator.extend_plan(len(sizes))
-            self._emit(
-                ProgressEvent(
-                    state.label, BUDGET_REALLOCATED,
-                    merged_chunks=state.accumulator.merged_chunks,
-                    total_chunks=state.accumulator.total_chunks,
-                    trials=state.accumulator.moments.count,
-                    rel_stderr=state.accumulator.moments.rel_stderr,
-                    granted_trials=sum(sizes),
-                    granted_chunks=len(sizes),
-                )
-            )
-            self._submit_chunks(state, len(sizes))
+        grants = allocate_grants(
+            self.ledger,
+            [(deficit, state.index) for deficit, state in ranked],
+            self.grant_unit,
+        )
+        self.ledger = 0
+        for _deficit, state in ranked:
+            sizes = grants.get(state.index)
+            if sizes:
+                self._apply_grant(state, sizes, BUDGET_REALLOCATED)
         return True
+
+    # -- cross-shard budget ledger -----------------------------------------
+
+    def _global_index(self, local: int) -> int:
+        """Map a local point index to its full-space (fleet) index.
+
+        Round-robin sharding puts global point ``k`` at position
+        ``k // n`` of shard ``k % n``, so local position ``p`` of shard
+        ``(i, n)`` is global ``p * n + i`` — the key space the ledger's
+        demand ranking and grant records use.
+        """
+        index, count = self.shard
+        return local * count + index
+
+    def _drain_converged(self) -> list[tuple[int, int]]:
+        pending = self._xshard_converged
+        self._xshard_converged = []
+        return pending
+
+    def _budget_round(self) -> bool:
+        """One quiescent-barrier budget decision (local or fleet-wide)."""
+        if self.xledger is not None:
+            if not self.xshard_active:
+                return False
+            return self._xshard_rounds()
+        return self._grant_round()
+
+    def _xshard_rounds(self) -> bool:
+        """Run ledger rounds until this shard gains work or leaves.
+
+        Each iteration publishes one sealed round block (freed budget
+        and open points), rendezvouses with the co-running shards, and
+        computes the fleet-wide allocation every shard derives
+        identically from the ledger. Returns True when this shard
+        received grants (extension chunks were submitted); False when
+        the protocol ended for this shard — in which case the
+        remaining open points are finalized as budget-exhausted and
+        the departure is recorded.
+        """
+        ledger = self.xledger
+        while True:
+            ranked = self._open_candidates()
+            opens = [
+                (
+                    self._global_index(state.index),
+                    deficit,
+                    state.accumulator.moments.count,
+                )
+                for deficit, state in ranked
+            ]
+            number = self.xshard_round
+            ledger.publish_round(
+                number, self.ledger, opens, self._drain_converged()
+            )
+            self.ledger = 0
+            grants = ledger.rendezvous(number, self.grant_unit)
+            self.xshard_round += 1
+            count = self.shard[1]
+            mine = {
+                index: sizes
+                for index, sizes in grants.items()
+                if index % count == self.shard[0]
+            }
+            if mine:
+                ledger.record_claims(number, mine)
+                for _deficit, state in ranked:
+                    sizes = mine.get(self._global_index(state.index))
+                    if sizes:
+                        self._apply_grant(state, sizes, BUDGET_CLAIMED)
+                return True
+            if not grants or not ranked:
+                # Protocol over (no grants anywhere), or every grant
+                # went elsewhere and this shard has nothing open:
+                # leave the fleet. Finalize the still-open stragglers
+                # first so their final trial counts land in the audit
+                # trail.
+                self.xshard_active = False
+                self._finalize_stragglers()
+                ledger.close(number, self._drain_converged())
+                return False
+            # Open points but no grants this round: the pool went to
+            # worse-converged points elsewhere; wait for the next
+            # round (new budget can still be freed by their grants
+            # stopping early).
 
     def _finalize_stragglers(self) -> bool:
         """Finalize open points no grant will ever reach."""
@@ -875,6 +1007,12 @@ class _PipelinedScheduler:
 
     def run(self) -> tuple[MethodComparison, ...]:
         self._prewarm()
+        if self.xledger is not None:
+            self.xledger.open_run(
+                mc_token(self.config.mc),
+                self.method_names,
+                self.reference_name,
+            )
         pool_cls = (
             ProcessPoolExecutor
             if self.executor == "process"
@@ -887,7 +1025,7 @@ class _PipelinedScheduler:
             while True:
                 if not self.waiting:
                     if self.chunked:
-                        if self.reallocate and self._grant_round():
+                        if self.reallocate and self._budget_round():
                             continue
                         if self._finalize_stragglers():
                             # Finalizing may pipeline method tasks.
@@ -907,8 +1045,8 @@ class _PipelinedScheduler:
                 if self.live_chunks == 0 and self.reallocate and (
                     self.chunked
                 ):
-                    if not self._grant_round():
-                        # No grants possible now and the only ledger
+                    if not self._budget_round():
+                        # No grants possible now and the only budget
                         # source (chunked finalizations) is quiet:
                         # release any still-open points to the method
                         # stage instead of leaving them idle.
@@ -956,6 +1094,7 @@ def evaluate_design_space(
     progress: ProgressCallback | None = None,
     pipeline_methods: bool = False,
     reallocate_budget: bool = False,
+    budget_ledger: BudgetLedger | None = None,
 ) -> ResultSet:
     """Run ``methods`` against ``reference`` on every system in ``space``.
 
@@ -1022,7 +1161,20 @@ def evaluate_design_space(
         numbers stay bit-identical across worker counts and executors —
         but they *differ* from a non-reallocating run (stragglers get
         more trials), and a sharded run redistributes within its own
-        shard only. A no-op without a stopping rule.
+        shard only unless a ``budget_ledger`` is attached. A no-op
+        without a stopping rule.
+    budget_ledger:
+        A :class:`~repro.methods.ledger.BudgetLedger` handle on the
+        fleet's shared ledger file (typically
+        ``ledger_path(cache_dir, run_id)``), turning shard-local
+        re-allocation into *cross-shard* coordination: freed budget is
+        published to — and claimed from — a global pool shared by the
+        co-running shards of one sweep, at deterministic fleet
+        barriers. Requires ``shard=`` (matching the ledger's own
+        coordinates), ``reallocate_budget=True``, and an adaptive
+        ``monte_carlo`` reference. The result's ``mc_token`` is tagged
+        ``+xshard`` so :func:`~repro.methods.results.merge_result_sets`
+        only combines ledger-coordinated shards with each other.
     """
     items = _normalize_space(space)
     if shard is not None:
@@ -1050,6 +1202,30 @@ def evaluate_design_space(
         cache=cache,
     )
     reference_estimator = registry.get(reference_name)
+    if budget_ledger is not None:
+        if shard is None:
+            raise ConfigurationError(
+                "budget_ledger coordinates co-running shards; pass the "
+                "matching shard=(i, n)"
+            )
+        if budget_ledger.shard != shard:
+            raise ConfigurationError(
+                f"budget_ledger belongs to shard "
+                f"{budget_ledger.index}/{budget_ledger.count} but this "
+                f"run is shard {shard[0]}/{shard[1]}"
+            )
+        if not reallocate_budget:
+            raise ConfigurationError(
+                "budget_ledger requires reallocate_budget=True (the "
+                "ledger is the cross-shard extension of budget "
+                "re-allocation)"
+            )
+        if reference_name != "monte_carlo" or not config.mc.adaptive:
+            raise ConfigurationError(
+                "budget_ledger needs an adaptive monte_carlo reference "
+                "(a MonteCarloConfig with a StoppingRule); without a "
+                "stopping rule no budget is ever freed or claimed"
+            )
 
     def finish_item(
         item: tuple[str, SystemModel], ref: MTTFEstimate
@@ -1093,6 +1269,7 @@ def evaluate_design_space(
             reallocate_budget=reallocate_budget,
             skip_unsupported=skip_unsupported,
             shard=shard,
+            budget_ledger=budget_ledger,
         ).run()
     elif executor == "process":
         references = _process_references(
@@ -1118,7 +1295,10 @@ def evaluate_design_space(
         # ledger, so these numbers are not interchangeable with a
         # non-reallocating run of the same MC configuration — tag the
         # token so merge_result_sets refuses to interleave the two.
-        token += "+realloc"
+        # Cross-shard-coordinated references additionally depend on the
+        # *fleet's* ledger, so they get their own tag: merge combines
+        # +xshard shards only with other +xshard shards.
+        token += "+xshard" if budget_ledger is not None else "+realloc"
     return ResultSet(
         comparisons=comparisons,
         methods=tuple(method_names),

@@ -1,0 +1,632 @@
+"""Cross-shard trial-budget ledger: N shards, one work-conserving fleet.
+
+PR 4 made a single sweep work-conserving: trial budget freed by
+early-stopping points is re-granted to the least-converged open points
+at deterministic quiescent barriers. But a *sharded* run redistributed
+within its own shard only — budget freed on machine A was stranded
+there while machine B's straggler kept starving. This module closes
+that gap: co-running shards pointed at one shared ``--cache-dir``
+coordinate their budget through a per-run append-only **ledger file**,
+turning N independent shards into one fleet whose merged result is a
+pure function of the configuration.
+
+Protocol (see ``docs/SCHEDULER.md`` for the full narrative)
+-----------------------------------------------------------
+
+Every shard runs its deterministic local schedule until *quiescent* —
+each of its points resolved (stopping rule satisfied, censored, or
+budget exhausted while still short of the target). It then enters
+cross-shard **round** ``r`` (0, 1, 2, ...):
+
+1. **publish** — append ``point-converged`` records for points
+   finalized since the previous round, one ``point-open`` record per
+   still-open point (global point index + current deficit), one
+   ``budget-freed`` record carrying the trial budget its early
+   stoppers freed since the previous round, and finally a
+   ``shard-barrier`` record sealing the round (written last, so a
+   visible barrier implies the whole round block is visible);
+2. **rendezvous** — poll the ledger until every *active* shard has
+   sealed round ``r``;
+3. **allocate** — compute the round's grants with
+   :func:`repro.core.montecarlo.allocate_grants` over the *global*
+   pool (all shards' freed budget, minus earlier rounds' grants) and
+   the *global* demand set (all shards' open points, ranked
+   worst-deficit first, ties by global index). The function is pure
+   and its inputs are identical for every shard, so every shard
+   computes the identical allocation and simply applies — and records
+   as ``budget-claimed`` — the grants for the points it owns.
+
+A shard that received no grants and has no open points exits (after an
+audit ``shard-done`` record); shard activity is itself derived from
+the ledger (active at ``r+1`` iff it published open demands at ``r`` —
+grant recipients are by construction a subset of the demanders), so
+nobody waits on a shard that cannot contribute. The
+protocol ends globally at the first round whose allocation is empty —
+the pool is spent or no point can use it — which every shard detects
+identically. Rounds are matched by *index*, never by wall-clock, so
+the grant schedule (and therefore the merged ResultSet) is independent
+of shard speed, worker count, and executor.
+
+Determinism, conservation, crash-safety
+---------------------------------------
+
+* **Deterministic given the ledger**: grants are recomputed from the
+  ``shard-barrier``-sealed round data by a pure function;
+  ``budget-claimed`` records are an audit trail, not an input. A
+  completed ledger can be *replayed* (``replay=True``): each shard
+  rerun sequentially follows the recorded rounds without waiting and
+  reproduces its live results bit-for-bit (the replay verifies its
+  recomputed publications against the recorded ones and fails loudly
+  on any divergence).
+* **Budget-conserving**: :func:`allocate_grants` never grants more
+  than the pool, and the pool only ever receives budget that a
+  stopping rule actually freed — total granted trials <= total freed
+  trials, fleet-wide, by construction.
+* **Crash-safe appends**: records are newline-framed single-``write``
+  appends (:func:`repro.methods.cache.append_record`); a shard that
+  dies mid-append leaves one torn line that every reader skips
+  (:func:`repro.methods.cache.scan_records`). Duplicate records —
+  e.g. a crashed-and-rerun shard re-appending a ``budget-claimed`` —
+  are rejected deterministically: the first occurrence in file order
+  wins, always, for every reader.
+
+Filesystem assumption: concurrent appenders rely on atomic
+``O_APPEND`` writes, which local filesystems (and most cluster
+filesystems) provide but NFS famously does not. The failure mode on a
+filesystem without it is *loud*, never silently wrong — an
+interleaved write corrupts a line that every reader skips, so the
+round's sealing barrier goes missing and the fleet fails at the
+rendezvous timeout, or a sealed-but-short round block raises "ledger
+corrupt"; the numbers a completed fleet reports are still exactly the
+recorded schedule. For fleets on plain NFS, give each shard its own
+local run and merge, or host the ledger (and cache) on a filesystem
+with atomic appends.
+
+Results produced under a ledger tag their ``mc_token`` with
+``+xshard`` so :func:`~repro.methods.results.merge_result_sets`
+refuses to interleave ledger-coordinated shards with plain or
+``+realloc`` (shard-local re-allocation) artifacts.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from ..core.montecarlo import allocate_grants
+from ..errors import ConfigurationError, EstimationError
+from .cache import append_record, scan_records
+from .results import validate_shard
+
+#: Schema tag embedded in every ledger record.
+LEDGER_SCHEMA = "repro.xshard-ledger/v1"
+
+#: Record kinds, in the order one shard's round block is written.
+SHARD_HELLO = "shard-hello"
+POINT_CONVERGED = "point-converged"
+POINT_OPEN = "point-open"
+BUDGET_FREED = "budget-freed"
+SHARD_BARRIER = "shard-barrier"
+BUDGET_CLAIMED = "budget-claimed"
+SHARD_DONE = "shard-done"
+
+_RUN_ID = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+def ledger_path(cache_dir: str | Path, run_id: str) -> Path:
+    """The ledger file for fleet ``run_id`` inside a shared cache dir.
+
+    The ``.ledger`` suffix keeps the file invisible to
+    :class:`~repro.methods.cache.DiskCache` (which only ever touches
+    ``*.json`` entries in the same directory).
+    """
+    if not _RUN_ID.match(run_id):
+        raise ConfigurationError(
+            f"invalid ledger run id {run_id!r}; use letters, digits, "
+            "'.', '_' or '-'"
+        )
+    return Path(cache_dir) / f"xshard-{run_id}.ledger"
+
+
+@dataclass
+class _Round:
+    """One shard's published state for one round, as scanned."""
+
+    freed: int | None = None
+    #: ``(global index, deficit, trials merged so far)`` per open point.
+    opens: list[tuple[int, float, int]] = field(default_factory=list)
+    #: ``(global index, trials)`` per point finalized before this round.
+    converged: list[tuple[int, int]] = field(default_factory=list)
+    barrier: dict | None = None
+
+    @property
+    def sealed(self) -> bool:
+        return self.barrier is not None
+
+    def check(self, shard: int, number: int) -> None:
+        """Validate a sealed round block against its barrier summary.
+
+        The barrier is written last, so a visible barrier with missing
+        ``budget-freed``/``point-open`` records means a line was lost
+        to corruption (not a torn tail) — fail loudly.
+        """
+        if self.freed is None or len(self.opens) != self.barrier["opens"]:
+            raise EstimationError(
+                f"ledger corrupt: shard {shard} round {number} barrier "
+                f"expects {self.barrier['opens']} open points and a "
+                "budget-freed record, but the round block is incomplete"
+            )
+        if self.freed != self.barrier["freed"]:
+            raise EstimationError(
+                f"ledger corrupt: shard {shard} round {number} freed "
+                f"{self.freed} trials but its barrier says "
+                f"{self.barrier['freed']}"
+            )
+
+
+class LedgerState:
+    """A validated snapshot of one ledger file's contents.
+
+    Built by :meth:`scan`; every derived quantity (round completeness,
+    shard activity, per-round allocations) is a pure function of the
+    file contents, so any two readers of the same bytes agree exactly.
+    Duplicate records (same shard and kind, same round/point where
+    applicable) are rejected deterministically: the first occurrence
+    in file order wins and :attr:`duplicates` counts the rest.
+    """
+
+    def __init__(self, shard_count: int) -> None:
+        self.shard_count = shard_count
+        self.hellos: dict[int, dict] = {}
+        self.rounds: dict[tuple[int, int], _Round] = {}
+        #: ``(shard, round, global index) -> trials`` — first wins.
+        self.claims: dict[tuple[int, int, int], int] = {}
+        self.done: dict[int, int] = {}
+        self.duplicates = 0
+
+    @classmethod
+    def scan(cls, path: str | Path, shard_count: int) -> "LedgerState":
+        state = cls(shard_count)
+        seen_opens: set[tuple[int, int, int]] = set()
+        seen_converged: set[tuple[int, int]] = set()
+        for record in scan_records(path):
+            kind = record.get("kind")
+            try:
+                if kind == SHARD_HELLO:
+                    shard = int(record["shard"])
+                    if shard in state.hellos:
+                        state.duplicates += 1
+                        continue
+                    state.hellos[shard] = record
+                elif kind == BUDGET_FREED:
+                    entry = state._round(record)
+                    if entry.freed is not None:
+                        state.duplicates += 1
+                        continue
+                    entry.freed = int(record["trials"])
+                elif kind == POINT_OPEN:
+                    key = (
+                        int(record["shard"]),
+                        int(record["round"]),
+                        int(record["index"]),
+                    )
+                    if key in seen_opens:
+                        state.duplicates += 1
+                        continue
+                    seen_opens.add(key)
+                    state._round(record).opens.append(
+                        (
+                            int(record["index"]),
+                            float(record["deficit"]),
+                            int(record["trials"]),
+                        )
+                    )
+                elif kind == POINT_CONVERGED:
+                    key = (int(record["shard"]), int(record["index"]))
+                    if key in seen_converged:
+                        state.duplicates += 1
+                        continue
+                    seen_converged.add(key)
+                    state._round(record).converged.append(
+                        (int(record["index"]), int(record["trials"]))
+                    )
+                elif kind == SHARD_BARRIER:
+                    entry = state._round(record)
+                    if entry.barrier is not None:
+                        state.duplicates += 1
+                        continue
+                    entry.barrier = {
+                        "freed": int(record["freed"]),
+                        "opens": int(record["opens"]),
+                    }
+                elif kind == BUDGET_CLAIMED:
+                    key = (
+                        int(record["shard"]),
+                        int(record["round"]),
+                        int(record["index"]),
+                    )
+                    if key in state.claims:
+                        state.duplicates += 1
+                        continue
+                    state.claims[key] = int(record["trials"])
+                elif kind == SHARD_DONE:
+                    shard = int(record["shard"])
+                    if shard in state.done:
+                        state.duplicates += 1
+                        continue
+                    state.done[shard] = int(record["round"])
+                # Unknown kinds are skipped: a newer writer may add
+                # audit records an older reader can ignore.
+            except (KeyError, TypeError, ValueError):
+                # Malformed-but-parseable record: same discipline as a
+                # torn line — skip it, never crash the fleet.
+                continue
+        return state
+
+    def _round(self, record: Mapping) -> _Round:
+        key = (int(record["shard"]), int(record["round"]))
+        return self.rounds.setdefault(key, _Round())
+
+    # -- derived state -----------------------------------------------------
+
+    def sealed(self, shard: int, number: int) -> bool:
+        """Whether ``shard`` has sealed round ``number`` (validated)."""
+        entry = self.rounds.get((shard, number))
+        if entry is None or not entry.sealed:
+            return False
+        entry.check(shard, number)
+        return True
+
+    def allocation(
+        self, number: int, unit: int
+    ) -> dict[int, list[int]] | None:
+        """Round ``number``'s fleet-wide grants, or None if not ready.
+
+        Replays the protocol from round 0: shard activity, the running
+        pool, and each round's grants are derived only from sealed
+        round blocks, with :func:`allocate_grants` as the single
+        allocation policy. Returns ``global point index -> chunk
+        sizes``. ``None`` means some active shard has not sealed a
+        needed round yet (live callers poll and rescan). Raises when
+        the protocol provably ended before ``number`` — a live shard
+        never asks past the end, so that is a replay of a ledger that
+        does not match the configuration.
+        """
+        active = set(range(self.shard_count))
+        pool = 0
+        for current in range(number + 1):
+            demands: list[tuple[float, int]] = []
+            openers: set[int] = set()
+            for shard in sorted(active):
+                if not self.sealed(shard, current):
+                    return None
+                entry = self.rounds[(shard, current)]
+                pool += entry.freed
+                for index, deficit, _trials in entry.opens:
+                    demands.append((deficit, index))
+                    openers.add(shard)
+            grants = allocate_grants(pool, demands, unit)
+            if current == number:
+                return grants
+            if not grants:
+                raise EstimationError(
+                    f"ledger protocol ended at round {current}, before "
+                    f"round {number}: this ledger does not match the "
+                    "requested replay"
+                )
+            pool -= sum(sum(sizes) for sizes in grants.values())
+            # Grant recipients are by construction a subset of the
+            # shards that published demands, so demand is the whole
+            # activity rule.
+            active = openers
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def totals(self) -> dict[str, int]:
+        """Fleet-wide audit totals (tests and benchmarks assert on these)."""
+        freed = sum(
+            entry.freed
+            for entry in self.rounds.values()
+            if entry.freed is not None
+        )
+        claimed = sum(self.claims.values())
+        return {
+            "freed_trials": freed,
+            "claimed_trials": claimed,
+            "rounds": 1 + max(
+                (number for _shard, number in self.rounds), default=-1
+            ),
+            "duplicates": self.duplicates,
+        }
+
+
+class BudgetLedger:
+    """One shard's handle on a fleet's shared budget ledger file.
+
+    Parameters
+    ----------
+    path:
+        The per-run ledger file, typically
+        ``ledger_path(cache_dir, run_id)`` inside the fleet's shared
+        ``--cache-dir``. Created on first append.
+    shard:
+        This participant's ``(i, n)`` coordinates — the same pair the
+        engine's ``shard=`` argument receives.
+    replay:
+        False (default) runs the live protocol: publish rounds, wait
+        for the co-running shards, claim grants. True *replays* a
+        completed ledger deterministically — no records are written,
+        no waiting happens; the recorded rounds drive the identical
+        grant schedule and every recomputed publication is verified
+        against the recorded one.
+    poll_interval / timeout:
+        Live-mode rendezvous polling cadence and patience (seconds).
+        The timeout failure is loud: ledger coordination needs its
+        shards *co-running*, and a missing sibling should never
+        silently degrade the run into an uncoordinated one.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        shard: tuple[int, int],
+        replay: bool = False,
+        poll_interval: float = 0.05,
+        timeout: float = 600.0,
+    ) -> None:
+        self.path = Path(path)
+        self.shard = validate_shard(shard)
+        self.replay = replay
+        self.poll_interval = poll_interval
+        self.timeout = timeout
+        self._hello: dict | None = None
+
+    @property
+    def index(self) -> int:
+        return self.shard[0]
+
+    @property
+    def count(self) -> int:
+        return self.shard[1]
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _record(self, kind: str, **fields) -> dict:
+        return {"kind": kind, "shard": self.index, **fields}
+
+    def _scan(self) -> LedgerState:
+        return LedgerState.scan(self.path, self.count)
+
+    def _check_hellos(self, state: LedgerState) -> None:
+        assert self._hello is not None
+        for shard, hello in state.hellos.items():
+            if shard == self.index:
+                continue
+            for key in ("shards", "token", "methods", "reference"):
+                if hello.get(key) != self._hello[key]:
+                    raise ConfigurationError(
+                        f"ledger {self.path} shard {shard} was launched "
+                        f"with a different configuration ({key}: "
+                        f"{hello.get(key)!r} vs {self._hello[key]!r}); "
+                        "every shard of one fleet must share the exact "
+                        "sweep configuration"
+                    )
+
+    # -- protocol ----------------------------------------------------------
+
+    def open_run(
+        self, token: str, methods: Sequence[str], reference: str
+    ) -> None:
+        """Join the fleet: write (or, replaying, verify) the hello."""
+        self._hello = {
+            "schema": LEDGER_SCHEMA,
+            "shards": self.count,
+            "token": token,
+            "methods": list(methods),
+            "reference": reference,
+        }
+        state = self._scan()
+        recorded = state.hellos.get(self.index)
+        if self.replay:
+            if recorded is None:
+                raise ConfigurationError(
+                    f"ledger {self.path} has no shard-hello for shard "
+                    f"{self.index}/{self.count}; nothing to replay"
+                )
+            for key, value in self._hello.items():
+                if recorded.get(key) != value:
+                    raise ConfigurationError(
+                        f"ledger {self.path} was produced by a different "
+                        f"configuration ({key}: {recorded.get(key)!r} vs "
+                        f"{value!r}); refusing to replay"
+                    )
+            self._check_hellos(state)
+            return
+        if recorded is not None:
+            raise ConfigurationError(
+                f"ledger {self.path} already has records for shard "
+                f"{self.index}/{self.count}; each live fleet run needs a "
+                "fresh run id (replaying a finished ledger is "
+                "replay=True / --ledger-replay)"
+            )
+        self._check_hellos(state)
+        append_record(
+            self.path, self._record(SHARD_HELLO, **self._hello)
+        )
+
+    def publish_round(
+        self,
+        number: int,
+        freed: int,
+        opens: Sequence[tuple[int, float, int]],
+        converged: Sequence[tuple[int, int]],
+    ) -> None:
+        """Publish (or verify, replaying) this shard's round block.
+
+        ``opens`` are ``(global index, deficit, trials)`` for every
+        still-open point; ``converged`` are ``(global index, trials)``
+        for points finalized since the previous round. The sealing
+        ``shard-barrier`` is written last.
+        """
+        if self.replay:
+            state = self._scan()
+            if not state.sealed(self.index, number):
+                raise EstimationError(
+                    f"ledger {self.path} has no sealed round {number} "
+                    f"for shard {self.index}; the live run ended (or "
+                    "crashed) earlier — cannot replay past it"
+                )
+            entry = state.rounds[(self.index, number)]
+            recorded_opens = sorted(
+                (index, deficit) for index, deficit, _t in entry.opens
+            )
+            computed_opens = sorted(
+                (index, deficit) for index, deficit, _t in opens
+            )
+            if entry.freed != freed or recorded_opens != computed_opens:
+                raise EstimationError(
+                    f"replay diverged from ledger {self.path} at shard "
+                    f"{self.index} round {number}: recorded "
+                    f"(freed={entry.freed}, opens={recorded_opens}) vs "
+                    f"recomputed (freed={freed}, opens={computed_opens})"
+                    " — the configuration does not match the recording"
+                )
+            return
+        for index, trials in converged:
+            append_record(
+                self.path,
+                self._record(
+                    POINT_CONVERGED,
+                    round=number,
+                    index=index,
+                    trials=trials,
+                ),
+            )
+        for index, deficit, trials in opens:
+            append_record(
+                self.path,
+                self._record(
+                    POINT_OPEN,
+                    round=number,
+                    index=index,
+                    deficit=deficit,
+                    trials=trials,
+                ),
+            )
+        append_record(
+            self.path,
+            self._record(BUDGET_FREED, round=number, trials=freed),
+        )
+        append_record(
+            self.path,
+            self._record(
+                SHARD_BARRIER, round=number, freed=freed, opens=len(opens)
+            ),
+        )
+
+    def rendezvous(self, number: int, unit: int) -> dict[int, list[int]]:
+        """Round ``number``'s fleet-wide grants (waiting live, not replaying).
+
+        Returns ``global point index -> extension chunk sizes`` for
+        the *whole fleet*; callers apply the subset they own. Raises
+        :class:`~repro.errors.EstimationError` when the co-running
+        shards do not seal the round within ``timeout`` seconds.
+        """
+        if self.replay:
+            grants = self._scan().allocation(number, unit)
+            if grants is None:
+                raise EstimationError(
+                    f"ledger {self.path} is incomplete at round {number} "
+                    "(a live shard crashed mid-fleet?); cannot replay"
+                )
+            return grants
+        deadline = time.monotonic() + self.timeout
+        # Exponential backoff from poll_interval up to ~1s: a shard
+        # waiting out a slow sibling's long initial sweep should not
+        # hammer the (possibly shared/network) directory at full rate,
+        # but short waits stay responsive.
+        interval = self.poll_interval
+        while True:
+            state = self._scan()
+            self._check_hellos(state)
+            grants = state.allocation(number, unit)
+            if grants is not None:
+                return grants
+            if time.monotonic() >= deadline:
+                raise EstimationError(
+                    f"ledger rendezvous timed out after {self.timeout}s "
+                    f"waiting for round {number} of {self.path}; budget-"
+                    "ledger coordination needs every shard of the fleet "
+                    "co-running against the same ledger file (a slower "
+                    "fleet needs a larger timeout: BudgetLedger(..., "
+                    "timeout=...) / --ledger-timeout)"
+                )
+            time.sleep(interval)
+            interval = min(max(1.0, self.poll_interval), interval * 2)
+
+    def record_claims(
+        self, number: int, grants: Mapping[int, Sequence[int]]
+    ) -> None:
+        """Audit-record (or verify, replaying) this shard's applied grants."""
+        if self.replay:
+            state = self._scan()
+            for index, sizes in grants.items():
+                recorded = state.claims.get((self.index, number, index))
+                if recorded is not None and recorded != sum(sizes):
+                    raise EstimationError(
+                        f"replay diverged from ledger {self.path}: shard "
+                        f"{self.index} round {number} point {index} "
+                        f"claimed {recorded} trials in the recording but "
+                        f"{sum(sizes)} on replay"
+                    )
+            return
+        for index in sorted(grants):
+            sizes = list(grants[index])
+            append_record(
+                self.path,
+                self._record(
+                    BUDGET_CLAIMED,
+                    round=number,
+                    index=index,
+                    trials=sum(sizes),
+                    chunks=len(sizes),
+                ),
+            )
+
+    def close(
+        self, number: int, converged: Sequence[tuple[int, int]] = ()
+    ) -> None:
+        """Leave the fleet after round ``number`` (audit records only)."""
+        if self.replay:
+            return
+        for index, trials in converged:
+            append_record(
+                self.path,
+                self._record(
+                    POINT_CONVERGED,
+                    round=number,
+                    index=index,
+                    trials=trials,
+                ),
+            )
+        append_record(self.path, self._record(SHARD_DONE, round=number))
+
+    def audit(self) -> dict[str, int]:
+        """Fleet-wide totals scanned from the ledger file."""
+        totals = self._scan().totals()
+        if totals["claimed_trials"] > totals["freed_trials"]:
+            raise EstimationError(
+                f"ledger {self.path} violates budget conservation: "
+                f"{totals['claimed_trials']} trials claimed of "
+                f"{totals['freed_trials']} freed"
+            )
+        return totals
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "replay" if self.replay else "live"
+        return (
+            f"BudgetLedger({str(self.path)!r}, shard="
+            f"{self.index}/{self.count}, {mode})"
+        )

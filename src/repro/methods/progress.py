@@ -9,6 +9,59 @@ the stream, and where re-allocated trial budget went. The CLI's
 progress reporter (:mod:`repro.harness.runner`) is one consumer; tests
 and notebook monitors are others.
 
+Event vocabulary
+----------------
+
+Every event the engine can emit carries one of these ``kind`` strings
+(the module-level constants; ``docs/SCHEDULER.md`` and DESIGN.md carry
+the same table):
+
+``"point-start"``
+    Reference estimation of one grid point begins. Carries
+    ``total_chunks`` when the reference runs as a streamed chunk plan.
+``"chunk"``
+    One more reference trial chunk folded into the point's running
+    moments. Carries ``merged_chunks``/``total_chunks``, ``trials``,
+    and the achieved ``rel_stderr``.
+``"point-done"``
+    The point's reference estimate is final. Carries the final
+    ``trials``; ``stopped_early`` when a stopping rule ended the point
+    before its full chunk plan; ``cached`` when the estimate replayed
+    from the cache and no sampling ran.
+``"method-start"`` / ``"method-done"``
+    One pipelined method estimate entered / left the worker pool
+    (``pipeline_methods=True``). Carry ``method``; done additionally
+    carries ``trials`` and ``cached``. Cached method estimates emit
+    only ``"method-done"``.
+``"budget-reallocated"``
+    Freed trial budget was re-granted to this point at a quiescent
+    barrier by *shard-local* re-allocation (``reallocate_budget=True``
+    without a ledger). Carries ``granted_trials``/``granted_chunks``
+    plus the point's running chunk position and precision.
+``"budget-claimed"``
+    Same grant, but funded through the *cross-shard budget ledger*
+    (``budget_ledger=...``): the trials may have been freed by a
+    co-running shard. Field shape is identical to
+    ``"budget-reallocated"``; only the funding pool differs.
+``"prewarm"``
+    The one-shot disk-cache prewarm a sharded sweep performs before
+    scheduling any work. Run-level label; carries ``warmed_entries``.
+
+Ordering guarantees
+-------------------
+
+Per grid point the lifecycle order is ``point-start`` -> (``chunk`` |
+``budget-reallocated`` | ``budget-claimed``)* -> ``point-done`` ->
+(``method-start`` -> ``method-done``)*; ``merged_chunks`` and
+``trials`` are non-decreasing along it, and no two events for one
+point are ever emitted concurrently. *Across* points the interleaving
+follows the schedule (and so may vary with workers and executors) —
+only the per-point order and a run-initial ``prewarm`` (when a disk
+cache is attached to the pipelined scheduler) are contractual. Events
+report the engine's deterministic fold state, so the *numbers* carried
+by each point's event sequence are bit-identical across worker counts
+and executors even though the global interleaving is not.
+
 Events are plain frozen dataclasses; the callback runs inline on
 whichever thread finishes the work, so consumers should be cheap and
 thread-safe (printing is — the engine never emits two events for one
@@ -33,6 +86,10 @@ METHOD_DONE = "method-done"
 BUDGET_REALLOCATED = "budget-reallocated"
 CACHE_PREWARMED = "prewarm"
 
+#: Cross-shard ledger event: budget freed somewhere in the fleet was
+#: claimed for this point through the shared ledger file.
+BUDGET_CLAIMED = "budget-claimed"
+
 
 @dataclass(frozen=True)
 class ProgressEvent:
@@ -44,14 +101,16 @@ class ProgressEvent:
         The grid point's system label (sweep-wide events such as
         ``"prewarm"`` use a run-level label instead).
     kind:
+        One of the event-vocabulary strings above:
         ``"point-start"`` (reference estimation begins),
         ``"chunk"`` (one more trial chunk folded into the running
         moments), ``"point-done"`` (reference estimate final),
         ``"method-start"`` / ``"method-done"`` (one pipelined method
         estimate entered / left the pool),
-        ``"budget-reallocated"`` (cancelled-chunk budget granted to
-        this point), or ``"prewarm"`` (shard-aware disk-cache prewarm
-        completed before scheduling).
+        ``"budget-reallocated"`` (shard-local freed budget granted to
+        this point), ``"budget-claimed"`` (cross-shard ledger budget
+        granted to this point), or ``"prewarm"`` (shard-aware
+        disk-cache prewarm completed before scheduling).
     merged_chunks / total_chunks:
         Streaming position within the point's chunk plan. ``0/0`` for
         unchunked or non-stochastic references. ``merged_chunks`` is
@@ -73,8 +132,8 @@ class ProgressEvent:
     method:
         On ``method-start`` / ``method-done``: the method name.
     granted_trials / granted_chunks:
-        On ``budget-reallocated``: how much freed budget this point
-        received, in trials and in extension chunks.
+        On ``budget-reallocated`` / ``budget-claimed``: how much freed
+        budget this point received, in trials and in extension chunks.
     warmed_entries:
         On ``prewarm``: disk entries pulled into the in-memory cache
         before any work was scheduled.

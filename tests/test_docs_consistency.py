@@ -72,6 +72,87 @@ class TestDesign:
         assert "SPEC CPU2000" in design
 
 
+class TestProgressEventVocabulary:
+    """Every progress-event kind the engine can emit is documented."""
+
+    @pytest.fixture(scope="class")
+    def kinds(self) -> dict[str, str]:
+        from repro.methods import progress
+
+        found = {
+            name: value
+            for name, value in vars(progress).items()
+            if name.isupper() and isinstance(value, str)
+        }
+        assert found, "progress module defines no event-kind constants"
+        return found
+
+    @pytest.fixture(scope="class")
+    def scheduler_doc(self) -> str:
+        return (ROOT / "docs" / "SCHEDULER.md").read_text(
+            encoding="utf-8"
+        )
+
+    def test_every_kind_documented_in_design(self, kinds, design):
+        for name, value in kinds.items():
+            assert f"`{value}`" in design, (
+                f"progress event {name} = {value!r} missing from "
+                "DESIGN.md's vocabulary table"
+            )
+
+    def test_every_kind_documented_in_module_docstring(self, kinds):
+        from repro.methods import progress
+
+        docs = (progress.__doc__ or "") + (
+            progress.ProgressEvent.__doc__ or ""
+        )
+        for name, value in kinds.items():
+            assert f'"{value}"' in docs, (
+                f"progress event {name} = {value!r} missing from the "
+                "progress module/ProgressEvent docstrings"
+            )
+
+    def test_every_emitted_kind_is_in_the_vocabulary(self, kinds):
+        # The engine emits events only through the vocabulary
+        # constants; every constant must actually be wired into the
+        # batch engine (a stale constant would document a kind nothing
+        # emits).
+        import repro.methods.batch as batch
+
+        source = Path(batch.__file__).read_text(encoding="utf-8")
+        for name in kinds:
+            assert name in source, (
+                f"vocabulary constant {name} is never used by the "
+                "batch engine"
+            )
+
+    def test_scheduler_doc_exists_and_is_linked(
+        self, scheduler_doc, readme, design
+    ):
+        assert "cross-shard budget ledger" in scheduler_doc.lower()
+        assert "docs/SCHEDULER.md" in readme
+        assert "docs/SCHEDULER.md" in design
+
+    def test_ledger_record_kinds_documented(self, design):
+        from repro.methods import ledger
+
+        for record_kind in (
+            ledger.SHARD_HELLO, ledger.POINT_OPEN,
+            ledger.POINT_CONVERGED, ledger.BUDGET_FREED,
+            ledger.BUDGET_CLAIMED, ledger.SHARD_BARRIER,
+            ledger.SHARD_DONE,
+        ):
+            assert f"`{record_kind}`" in design, (
+                f"ledger record kind {record_kind!r} missing from "
+                "DESIGN.md"
+            )
+
+    def test_fleet_recipe_in_experiments_doc(self, experiments_doc):
+        assert "--budget-ledger" in experiments_doc
+        assert "--ledger-replay" in experiments_doc
+        assert "sharded_fleet.py" in experiments_doc
+
+
 class TestExperimentsDoc:
     def test_every_registered_paper_artifact_discussed(
         self, experiments_doc

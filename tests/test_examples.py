@@ -61,6 +61,13 @@ class TestExamples:
         assert "hybrid" in out
         assert "best combination" in out
 
+    def test_sharded_fleet(self, capsys):
+        out = run_example("sharded_fleet", [], capsys)
+        assert "one budget ledger" in out
+        assert "cross-shard budget bought" in out
+        assert "budget conserved" in out
+        assert "bit-identical" in out
+
 
 class TestReadmeSnippet:
     def test_quickstart_code_runs(self, capsys):
