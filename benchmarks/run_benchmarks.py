@@ -315,6 +315,93 @@ def fleet_cases(trials: int, points: int, shards: int = 2):
     return cases
 
 
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted list."""
+    rank = max(
+        0, min(len(sorted_values) - 1,
+               round(fraction * (len(sorted_values) - 1)))
+    )
+    return sorted_values[rank]
+
+
+def service_load_cases(
+    trials: int, jobs: int = 12, distinct: int = 4, workers: int = 2
+):
+    """Concurrent load against a live analysis server (the PR-6 layer).
+
+    ``jobs`` clients submit simultaneously, but only ``distinct``
+    fingerprints exist among them — the rest are duplicates the server
+    must coalesce, which is the serving layer's whole value
+    proposition: under bursty duplicate-heavy load (dashboards,
+    retried CI jobs) the engine runs each unique spec once. The record
+    carries submission throughput, the observed dedup hit rate, and
+    p50/p95 submit-to-done latency so serving-layer changes carry
+    numbers just like engine changes do.
+    """
+    import threading
+
+    from repro.service import BackgroundServer, JobSpec, ServiceClient
+
+    space = _cluster_space(2)
+    specs = [
+        JobSpec(
+            space=tuple(space),
+            methods=("sofr_only",),
+            mc=MonteCarloConfig(
+                trials=trials, seed=100 + (i % distinct), chunks=4
+            ),
+        )
+        for i in range(jobs)
+    ]
+    latencies: list[float] = []
+    coalesced_flags: list[bool] = []
+    lock = threading.Lock()
+
+    with BackgroundServer(workers=workers) as server:
+        def one(spec):
+            client = ServiceClient(server.address)
+            started = time.perf_counter()
+            submitted = client.submit(spec)
+            client.wait(submitted["job"]["id"], timeout=600)
+            elapsed = time.perf_counter() - started
+            with lock:
+                latencies.append(elapsed)
+                coalesced_flags.append(submitted["coalesced"])
+
+        threads = [
+            threading.Thread(target=one, args=(spec,)) for spec in specs
+        ]
+        wall_started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - wall_started
+        fleet = ServiceClient(server.address).fleet()
+
+    latencies.sort()
+    return [
+        {
+            "name": "service_load",
+            "seconds": round(wall, 4),
+            "trials": trials,
+            "jobs": jobs,
+            "distinct_specs": distinct,
+            "service_workers": workers,
+            "submissions": fleet["submissions"],
+            "coalesced": sum(coalesced_flags),
+            "dedup_hit_rate": round(sum(coalesced_flags) / jobs, 4),
+            "throughput_jobs_per_s": round(jobs / wall, 2),
+            "p50_latency_s": round(_percentile(latencies, 0.50), 4),
+            "p95_latency_s": round(_percentile(latencies, 0.95), 4),
+        }
+    ]
+
+
+#: Benchmark sections selectable via --scenario.
+SCENARIOS = ("all", "engine", "cache", "fleet", "service_load")
+
+
 def run_benchmarks(argv: list[str] | None = None) -> Path:
     parser = argparse.ArgumentParser(
         description="Time the estimation engine; write BENCH_<rev>.json"
@@ -323,6 +410,10 @@ def run_benchmarks(argv: list[str] | None = None) -> Path:
     parser.add_argument("--points", type=int, default=6)
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument("--repeat", type=int, default=2)
+    parser.add_argument(
+        "--scenario", choices=SCENARIOS, default="all",
+        help="run one benchmark section instead of the full suite",
+    )
     parser.add_argument(
         "--output-dir", default=".", help="where BENCH_<rev>.json lands"
     )
@@ -334,62 +425,84 @@ def run_benchmarks(argv: list[str] | None = None) -> Path:
     )
     args = parser.parse_args(argv)
 
+    def wants(section: str) -> bool:
+        return args.scenario in ("all", section)
+
     rev = args.rev or repo_revision()
     results = []
-    for name, metadata, thunk in benchmark_cases(
-        args.trials, args.points, args.workers
-    ):
-        seconds, result_set = _timed(thunk, args.repeat)
-        record = {"name": name, "seconds": round(seconds, 4), **metadata}
-        if "adaptive" in name:
-            trials_used = list(result_set.reference_trials().values())
-            record["reference_trials"] = {
-                "min": min(trials_used),
-                "max": max(trials_used),
-                "total": sum(trials_used),
+    if wants("engine"):
+        for name, metadata, thunk in benchmark_cases(
+            args.trials, args.points, args.workers
+        ):
+            seconds, result_set = _timed(thunk, args.repeat)
+            record = {
+                "name": name, "seconds": round(seconds, 4), **metadata
             }
-        results.append(record)
-        print(f"{name:44s} {seconds:8.3f}s")
+            if "adaptive" in name:
+                trials_used = list(result_set.reference_trials().values())
+                record["reference_trials"] = {
+                    "min": min(trials_used),
+                    "max": max(trials_used),
+                    "total": sum(trials_used),
+                }
+            results.append(record)
+            print(f"{name:44s} {seconds:8.3f}s")
 
     # Cold vs warm disk cache on the same sweep (one repeat each; the
     # warm number is the content-addressed lookup overhead).
-    space = _cluster_space(args.points)
-    mc = MonteCarloConfig(trials=args.trials, seed=7, chunks=8)
-    with tempfile.TemporaryDirectory(prefix="bench-cache-") as cache_dir:
-        for phase in ("cold", "warm"):
-            cache = ComponentCache(disk=DiskCache(cache_dir))
-            seconds, _ = _timed(
-                lambda: evaluate_design_space(
-                    space, methods=["sofr_only"], mc_config=mc,
-                    cache=cache,
-                ),
-                1,
-            )
-            results.append(
-                {
-                    "name": f"sweep_disk_cache_{phase}",
-                    "seconds": round(seconds, 4),
-                    "trials": args.trials,
-                    "chunks": 8,
-                    "entries": len(cache),
-                }
-            )
-            print(f"sweep_disk_cache_{phase:39s} {seconds:8.3f}s")
+    if wants("cache"):
+        space = _cluster_space(args.points)
+        mc = MonteCarloConfig(trials=args.trials, seed=7, chunks=8)
+        with tempfile.TemporaryDirectory(
+            prefix="bench-cache-"
+        ) as cache_dir:
+            for phase in ("cold", "warm"):
+                cache = ComponentCache(disk=DiskCache(cache_dir))
+                seconds, _ = _timed(
+                    lambda: evaluate_design_space(
+                        space, methods=["sofr_only"], mc_config=mc,
+                        cache=cache,
+                    ),
+                    1,
+                )
+                results.append(
+                    {
+                        "name": f"sweep_disk_cache_{phase}",
+                        "seconds": round(seconds, 4),
+                        "trials": args.trials,
+                        "chunks": 8,
+                        "entries": len(cache),
+                    }
+                )
+                print(f"sweep_disk_cache_{phase:39s} {seconds:8.3f}s")
 
     # Cross-shard fleet: ledger-coordinated vs independent shards.
-    for record in fleet_cases(args.trials, args.points):
-        results.append(record)
-        extra = ""
-        if "ledger" in record:
-            extra = (
-                f"  (claimed {record['ledger']['claimed_trials']} of "
-                f"{record['ledger']['freed_trials']} freed trials)"
+    if wants("fleet"):
+        for record in fleet_cases(args.trials, args.points):
+            results.append(record)
+            extra = ""
+            if "ledger" in record:
+                extra = (
+                    f"  (claimed {record['ledger']['claimed_trials']} of "
+                    f"{record['ledger']['freed_trials']} freed trials)"
+                )
+            print(
+                f"{record['name']:44s} {record['seconds']:8.3f}s  "
+                f"trials={record['total_reference_trials']} "
+                f"worst_hw={record['worst_ci_halfwidth_seconds']}s{extra}"
             )
-        print(
-            f"{record['name']:44s} {record['seconds']:8.3f}s  "
-            f"trials={record['total_reference_trials']} "
-            f"worst_hw={record['worst_ci_halfwidth_seconds']}s{extra}"
-        )
+
+    # Serving layer: concurrent duplicate-heavy load over HTTP.
+    if wants("service_load"):
+        for record in service_load_cases(args.trials):
+            results.append(record)
+            print(
+                f"{record['name']:44s} {record['seconds']:8.3f}s  "
+                f"{record['throughput_jobs_per_s']} jobs/s  "
+                f"dedup={record['coalesced']}/{record['jobs']}  "
+                f"p50={record['p50_latency_s']}s "
+                f"p95={record['p95_latency_s']}s"
+            )
 
     payload = {
         "schema": "repro.bench/v1",

@@ -1,0 +1,160 @@
+"""The analysis service end to end, inside one process.
+
+Everything ``repro-serve`` does, demonstrated without leaving Python:
+a :class:`~repro.service.BackgroundServer` hosts the estimator stack on
+an ephemeral port, two "tenants" submit the *same* cluster sweep
+concurrently (plus one deliberately different job), and the script
+shows the service's three contracts in action:
+
+1. **Request dedup** — the duplicate submission coalesces onto the
+   first tenant's running job instead of re-estimating; the response
+   metadata says so, and the engine runs the sweep once.
+2. **Live progress** — the job's SSE feed replays the engine's
+   documented ProgressEvent stream (point-start / chunk / point-done
+   ...), the same events a local ``--progress`` run prints.
+3. **Bit-identical results** — the ResultSet fetched over HTTP equals,
+   byte for byte, what ``evaluate_design_space`` returns in-process
+   for the same spec: the server adds scheduling, never numerics.
+
+The standalone equivalent::
+
+    repro-serve --port 8321 --cache-dir /tmp/repro-cache &
+    curl -d @job.json http://127.0.0.1:8321/v1/jobs
+    curl http://127.0.0.1:8321/v1/jobs/job-1/events   # SSE
+
+Run:  python examples/analysis_server.py
+"""
+
+import json
+import threading
+
+from repro import Component, MonteCarloConfig, StoppingRule, SystemModel
+from repro.service import BackgroundServer, JobSpec, ServiceClient
+from repro.units import SECONDS_PER_DAY
+from repro.workloads import day_workload
+
+#: ~2 raw errors/day/node on the diurnal workload.
+RATE_PER_SECOND = 2.0 / SECONDS_PER_DAY
+
+CLUSTER_SIZES = (8, 100, 1000)
+
+MC = MonteCarloConfig(
+    trials=8_000,
+    seed=5,
+    chunks=8,
+    stopping=StoppingRule(target_rel_stderr=0.05),
+)
+
+
+def build_spec() -> JobSpec:
+    profile = day_workload()
+    space = tuple(
+        (
+            f"C={size}",
+            SystemModel(
+                [
+                    Component(
+                        "node", RATE_PER_SECOND, profile,
+                        multiplicity=size,
+                    )
+                ]
+            ),
+        )
+        for size in CLUSTER_SIZES
+    )
+    return JobSpec(space=space, methods=("sofr_only",), mc=MC)
+
+
+def main() -> None:
+    spec = build_spec()
+    print(f"job fingerprint: {spec.content_fingerprint[:16]}...")
+    print(f"admission cost:  {spec.trial_cost()} trials")
+
+    with BackgroundServer(workers=2) as server:
+        print(f"analysis server listening on {server.address}\n")
+        alice = ServiceClient(server.address, tenant="alice")
+        bob = ServiceClient(server.address, tenant="bob")
+
+        # Two tenants race to submit the identical sweep.
+        submissions = {}
+
+        def submit(name, client):
+            submissions[name] = client.submit(spec)
+
+        threads = [
+            threading.Thread(target=submit, args=("alice", alice)),
+            threading.Thread(target=submit, args=("bob", bob)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        job_ids = {s["job"]["id"] for s in submissions.values()}
+        coalesced = sum(s["coalesced"] for s in submissions.values())
+        assert len(job_ids) == 1 and coalesced == 1
+        job_id = job_ids.pop()
+        print(
+            f"both tenants share {job_id}: one submission coalesced "
+            "onto the other's run (request dedup)"
+        )
+
+        # Follow the engine's progress over SSE while the job runs.
+        print("\nSSE progress stream:")
+        shown = 0
+        for name, payload in alice.events(job_id):
+            if name == "done":
+                print(f"  done: state={payload['state']}")
+                break
+            if shown < 8 or payload["kind"] != "chunk":
+                detail = {
+                    k: v
+                    for k, v in payload.items()
+                    if k not in ("label", "kind")
+                }
+                print(f"  {payload['label']:>7} {payload['kind']:<12}"
+                      f" {detail}")
+                shown += 1
+
+        served = alice.job(job_id)["result"]
+
+        # The same spec, run directly in this process.
+        direct = spec.run()
+        identical = json.dumps(served, sort_keys=True) == json.dumps(
+            direct.to_dict(), sort_keys=True
+        )
+        assert identical
+        print(
+            "\nHTTP result is bit-identical to the direct "
+            "in-process run"
+        )
+
+        # A genuinely different job (new seed) is NOT deduplicated.
+        other = JobSpec(
+            space=spec.space,
+            methods=spec.methods,
+            mc=MonteCarloConfig(trials=4_000, seed=6, chunks=4),
+        )
+        fresh = bob.submit(other)
+        assert not fresh["coalesced"]
+        bob.wait(fresh["job"]["id"])
+
+        fleet = alice.fleet()
+        print(
+            f"\nfleet: {fleet['submissions']} submissions, "
+            f"{fleet['coalesced']} coalesced, jobs={fleet['jobs']}"
+        )
+        print(f"estimate cache: {fleet['cache']}")
+        spent = fleet["quota"]["tenants"]
+        print(
+            "per-tenant trial ledger: "
+            + ", ".join(
+                f"{tenant}={entry['spent']}"
+                for tenant, entry in sorted(spent.items())
+            )
+        )
+    print("\nserver drained and stopped cleanly")
+
+
+if __name__ == "__main__":
+    main()

@@ -100,6 +100,7 @@ from .masking import (
     PiecewiseProfile,
     busy_idle_profile,
     from_cycle_mask,
+    profile_from_dict,
 )
 from .reliability import FailureProcess, MTTFEstimate
 from .ser import ComponentErrorModel, component_rate_per_second
@@ -154,6 +155,7 @@ __all__ = [
     "PiecewiseProfile",
     "busy_idle_profile",
     "from_cycle_mask",
+    "profile_from_dict",
     "FailureProcess",
     "MTTFEstimate",
     "ComponentErrorModel",

@@ -80,6 +80,39 @@ class Component:
         digest.update(float(self.rate_per_second).hex().encode("ascii"))
         return digest.hexdigest()
 
+    def to_dict(self) -> dict:
+        """Lossless plain-dict wire form (inverse of :meth:`from_dict`).
+
+        The profile serializes through
+        :meth:`~repro.masking.profile.VulnerabilityProfile.to_dict`, so
+        the round trip preserves :attr:`content_fingerprint` exactly —
+        a model shipped over the analysis service's HTTP API hits the
+        same content-addressed cache entries as the in-process object.
+        """
+        return {
+            "name": self.name,
+            "rate_per_second": float(self.rate_per_second),
+            "profile": self.profile.to_dict(),
+            "multiplicity": self.multiplicity,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Component":
+        """Rebuild a component from its :meth:`to_dict` form."""
+        from ..masking.profile import profile_from_dict
+
+        try:
+            return cls(
+                name=str(data["name"]),
+                rate_per_second=float(data["rate_per_second"]),
+                profile=profile_from_dict(data["profile"]),
+                multiplicity=int(data.get("multiplicity", 1)),
+            )
+        except KeyError as missing:
+            raise ConfigurationError(
+                f"component wire form is missing {missing}"
+            ) from None
+
     @property
     def lambda_l(self) -> float:
         """The paper's validity parameter ``lambda * L`` for this component.
@@ -94,6 +127,10 @@ class Component:
     @property
     def avf(self) -> float:
         return self.profile.avf
+
+
+#: Schema tag embedded in every serialized SystemModel.
+SYSTEM_SCHEMA = "repro.system/v1"
 
 
 class SystemModel:
@@ -148,6 +185,35 @@ class SystemModel:
             fp = digest.hexdigest()
             self._fingerprint = fp
         return fp
+
+    def to_dict(self) -> dict:
+        """Lossless plain-dict wire form (inverse of :meth:`from_dict`).
+
+        This is the model half of the analysis service's job schema:
+        ``from_dict(to_dict(m)).content_fingerprint ==
+        m.content_fingerprint``, so request dedup and the estimate
+        caches treat an HTTP-submitted model and its in-process
+        original as the same content.
+        """
+        return {
+            "schema": SYSTEM_SCHEMA,
+            "components": [c.to_dict() for c in self._components],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SystemModel":
+        """Rebuild a system from its :meth:`to_dict` form."""
+        if data.get("schema") != SYSTEM_SCHEMA:
+            raise ConfigurationError(
+                f"not a {SYSTEM_SCHEMA} document "
+                f"(schema={data.get('schema')!r})"
+            )
+        components = data.get("components")
+        if not isinstance(components, list):
+            raise ConfigurationError(
+                "system wire form needs a 'components' list"
+            )
+        return cls([Component.from_dict(c) for c in components])
 
     def combined_intensity(self) -> CyclicIntensity:
         """Superposed failure intensity of the whole series system.

@@ -7,13 +7,22 @@ from typing import Callable
 
 from ..errors import ConfigurationError
 from ..methods import BudgetLedger, ComponentCache, DiskCache, ledger_path
+from ..methods.cache import resolve_cache_dir
 from .tables import Table
 
 
 def make_cache(cache_dir: str | None) -> ComponentCache:
-    """An experiment's estimate cache, disk-backed when requested."""
-    if cache_dir:
-        return ComponentCache(disk=DiskCache(cache_dir))
+    """An experiment's estimate cache, disk-backed when requested.
+
+    Path resolution (env-var default, ``~`` expansion) goes through
+    :func:`repro.methods.cache.resolve_cache_dir` — the same helper
+    ``repro-serve`` uses, so the CLI and the analysis service can never
+    disagree about where a given ``--cache-dir`` (or an unset one)
+    points.
+    """
+    resolved = resolve_cache_dir(cache_dir)
+    if resolved is not None:
+        return ComponentCache(disk=DiskCache(resolved))
     return ComponentCache()
 
 

@@ -318,7 +318,9 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="content-addressed on-disk estimate cache; warm reruns "
         "skip re-estimation (entries invalidate automatically when a "
-        "profile, rate, or MC configuration changes)",
+        "profile, rate, or MC configuration changes). Defaults to "
+        "$REPRO_CACHE_DIR when set — the same resolution rule "
+        "repro-serve uses",
     )
     parser.add_argument(
         "--json",

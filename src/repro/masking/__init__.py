@@ -24,6 +24,7 @@ from .profile import (
     VulnerabilityProfile,
     busy_idle_profile,
     from_cycle_mask,
+    profile_from_dict,
 )
 from .trace import MaskingTrace
 from .compose import concatenate_profiles, or_combine
@@ -35,6 +36,7 @@ __all__ = [
     "VulnerabilityProfile",
     "busy_idle_profile",
     "from_cycle_mask",
+    "profile_from_dict",
     "MaskingTrace",
     "concatenate_profiles",
     "or_combine",

@@ -36,6 +36,29 @@ from ..core.montecarlo import MonteCarloConfig
 #: Schema tag embedded in every cache entry.
 ENTRY_SCHEMA = "repro.cache-entry/v1"
 
+#: Environment default for the on-disk cache directory; honoured by
+#: every entry point that accepts ``--cache-dir``.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def resolve_cache_dir(cache_dir: str | os.PathLike | None) -> Path | None:
+    """The single cache-path resolution rule for every entry point.
+
+    ``repro-experiments --cache-dir``, ``repro-serve --cache-dir``, and
+    any embedding code resolve the estimate-cache directory through this
+    one helper so their defaults can never drift: an explicit path wins,
+    an unset (or empty) path falls back to the :data:`CACHE_DIR_ENV`
+    environment variable, ``~`` is expanded, and ``None`` means "no
+    disk cache". The directory is *not* created here — that stays with
+    :class:`DiskCache` so a read-only caller can resolve without side
+    effects.
+    """
+    if cache_dir is None or cache_dir == "":
+        cache_dir = os.environ.get(CACHE_DIR_ENV) or None
+    if cache_dir is None:
+        return None
+    return Path(cache_dir).expanduser()
+
 
 def mc_token(mc: MonteCarloConfig | None) -> str:
     """Canonical cache-key token for a Monte-Carlo configuration.

@@ -152,6 +152,58 @@ class ProgressEvent:
     granted_chunks: int = 0
     warmed_entries: int = 0
 
+    def to_dict(self) -> dict:
+        """Compact plain-dict wire form — the analysis service's SSE payload.
+
+        ``label`` and ``kind`` are always present; every other field is
+        included only when it differs from its default, so a ``chunk``
+        event serializes to a handful of keys instead of twelve. The
+        round trip is lossless (``from_dict(to_dict(e)) == e``), and
+        the key set is exactly the dataclass field set — a consistency
+        test pins the two together so the SSE schema cannot drift from
+        the documented event vocabulary.
+        """
+        data = {"label": self.label, "kind": self.kind}
+        for name, default in (
+            ("merged_chunks", 0),
+            ("total_chunks", 0),
+            ("trials", 0),
+            ("rel_stderr", None),
+            ("stopped_early", False),
+            ("cached", False),
+            ("method", None),
+            ("granted_trials", 0),
+            ("granted_chunks", 0),
+            ("warmed_entries", 0),
+        ):
+            value = getattr(self, name)
+            if value != default:
+                data[name] = value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProgressEvent":
+        """Inverse of :meth:`to_dict` (unknown keys are rejected)."""
+        payload = dict(data)
+        try:
+            label = str(payload.pop("label"))
+            kind = str(payload.pop("kind"))
+        except KeyError as missing:
+            raise ValueError(
+                f"progress-event wire form is missing {missing}"
+            ) from None
+        allowed = {
+            "merged_chunks", "total_chunks", "trials", "rel_stderr",
+            "stopped_early", "cached", "method", "granted_trials",
+            "granted_chunks", "warmed_entries",
+        }
+        unknown = set(payload) - allowed
+        if unknown:
+            raise ValueError(
+                f"unknown progress-event fields {sorted(unknown)}"
+            )
+        return cls(label=label, kind=kind, **payload)
+
 
 #: The callback shape ``evaluate_design_space(progress=...)`` accepts.
 ProgressCallback = Callable[[ProgressEvent], None]

@@ -1,0 +1,181 @@
+"""Blocking HTTP client for the analysis service (stdlib urllib only).
+
+Convenience wrapper used by the tests, the ``service_load`` benchmark,
+and the example — and a reference implementation of the wire protocol
+for anyone talking to ``repro-serve`` from another language: every call
+maps one-to-one onto an endpoint documented in ``docs/SERVICE.md``.
+
+The client is deliberately dumb: it does not retry, cache, or reorder
+anything, so what it observes is exactly what the server sent — which
+is the property the bit-identity tests lean on
+(:meth:`ServiceClient.result` rebuilds the
+:class:`~repro.methods.results.ResultSet` from the response's
+``result`` key, whose dict equals the direct in-process
+``ResultSet.to_dict()``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Iterator
+
+from ..errors import ReproError
+from ..methods.results import ResultSet
+from .wire import JobSpec
+
+
+class ServiceError(ReproError):
+    """A non-2xx API response; carries status and decoded body."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        self.status = status
+        self.payload = payload
+        super().__init__(
+            f"HTTP {status}: {payload.get('error', payload)}"
+        )
+
+
+class ServiceClient:
+    """Talk to one ``repro-serve`` instance at ``base_url``.
+
+    ``tenant`` (optional) stamps every submission with a quota bucket,
+    overriding whatever the spec carries — handy for simulating
+    multi-tenant load from one process.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        tenant: str | None = None,
+        timeout: float = 60.0,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.tenant = tenant
+        self.timeout = timeout
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> dict:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=body, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            try:
+                decoded = json.loads(error.read().decode("utf-8"))
+            except ValueError:
+                decoded = {"error": str(error)}
+            raise ServiceError(error.code, decoded) from None
+
+    # -- API ---------------------------------------------------------------
+
+    def submit(
+        self, spec: JobSpec | dict, *, tenant: str | None = None
+    ) -> dict:
+        """POST the spec; returns the submission payload.
+
+        The payload's ``job`` carries the server-side job metadata and
+        ``coalesced`` says whether this submission joined an existing
+        run instead of starting one. Raises :class:`ServiceError` with
+        ``status=429`` on quota denial, ``status=400`` on a bad spec.
+        """
+        document = spec.to_dict() if isinstance(spec, JobSpec) else dict(spec)
+        bucket = tenant if tenant is not None else self.tenant
+        if bucket is not None:
+            document["tenant"] = bucket
+        return self._request("POST", "/v1/jobs", document)
+
+    def job(self, job_id: str) -> dict:
+        """GET the job's status payload (``job`` + ``result``)."""
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def wait(
+        self, job_id: str, *, timeout: float = 300.0, poll: float = 0.1
+    ) -> dict:
+        """Poll until the job leaves the queue/worker; final payload.
+
+        Raises :class:`ServiceError` (status 500) if the job failed
+        server-side, :class:`TimeoutError` if it does not finish.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            payload = self.job(job_id)
+            state = payload["job"]["state"]
+            if state == "done":
+                return payload
+            if state == "failed":
+                raise ServiceError(
+                    500,
+                    {"error": payload["job"]["error"], "job": payload["job"]},
+                )
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {state} after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def result(self, job_id: str) -> ResultSet:
+        """The finished job's ResultSet, rebuilt from the wire dict."""
+        payload = self.wait(job_id)
+        return ResultSet.from_dict(payload["result"])
+
+    def run(self, spec: JobSpec | dict, **wait_kwargs) -> ResultSet:
+        """Submit and block for the ResultSet — the one-call happy path."""
+        submitted = self.submit(spec)
+        return self.result(submitted["job"]["id"])
+
+    def events(self, job_id: str) -> Iterator[tuple[str, dict]]:
+        """Stream the job's SSE feed as ``(event_name, payload)`` pairs.
+
+        Generates until the server closes the stream; the terminal pair
+        is ``("done", {"state": ...})``. Closing the generator (or just
+        abandoning it) drops the connection — which, by design, the
+        server shrugs off.
+        """
+        request = urllib.request.Request(
+            f"{self.base_url}/v1/jobs/{job_id}/events",
+            headers={"Accept": "text/event-stream"},
+        )
+        try:
+            stream = urllib.request.urlopen(request, timeout=self.timeout)
+        except urllib.error.HTTPError as error:
+            try:
+                decoded = json.loads(error.read().decode("utf-8"))
+            except ValueError:
+                decoded = {"error": str(error)}
+            raise ServiceError(error.code, decoded) from None
+        name, data = None, []
+        with stream:
+            for raw in stream:
+                line = raw.decode("utf-8").rstrip("\n")
+                if line.startswith(":"):
+                    continue  # keep-alive comment
+                if line.startswith("event:"):
+                    name = line.split(":", 1)[1].strip()
+                elif line.startswith("data:"):
+                    data.append(line.split(":", 1)[1].strip())
+                elif not line and name is not None:
+                    yield name, json.loads("\n".join(data) or "null")
+                    name, data = None, []
+
+    def fleet(self) -> dict:
+        """GET the queue/dedup/cache/quota snapshot."""
+        return self._request("GET", "/v1/fleet")
+
+    def health(self) -> dict:
+        return self._request("GET", "/v1/health")

@@ -1,0 +1,295 @@
+"""Minimal asyncio HTTP/1.1 layer and the service's request router.
+
+Stdlib only — ``asyncio`` streams, no web framework. The server speaks
+just enough HTTP for the job API: one request per connection
+(``Connection: close``), JSON request/response bodies, and
+``text/event-stream`` for progress streaming. That keeps the parser a
+page long and sidesteps keep-alive pipelining entirely; clients that
+poll simply reconnect, which is cheap at analysis-job granularity.
+
+Routes (see ``docs/SERVICE.md`` for the wire schemas):
+
+======  ========================  =========================================
+POST    ``/v1/jobs``              submit a ``repro.job/v1`` spec
+GET     ``/v1/jobs/<id>``         job metadata + ResultSet once done
+GET     ``/v1/jobs/<id>/events``  SSE stream of engine progress events
+GET     ``/v1/fleet``             queue/dedup/cache/quota snapshot
+GET     ``/v1/health``            liveness probe
+======  ========================  =========================================
+
+Error mapping: a malformed or invalid spec
+(:class:`~repro.errors.ConfigurationError`) is HTTP 400, a quota denial
+(:class:`~repro.service.quota.QuotaExceeded`) is HTTP 429 with the full
+:class:`~repro.service.quota.QuotaDecision` in the body, an unknown
+job/route is 404, and anything unexpected is a 500 that never takes the
+server down.
+
+SSE. The stream replays the job's buffered events from the beginning —
+connect late, see everything — then follows live until the job
+finishes, closing with a terminal ``done`` event. Every ``data:``
+payload is a documented :class:`~repro.methods.progress.ProgressEvent`
+``to_dict()`` form; comment lines (``: keep-alive``) pad quiet periods
+so dead connections surface as write errors. A client disconnect ends
+only that stream — the job, its event buffer, and any other listeners
+are untouched.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from ..errors import ConfigurationError, ReproError
+from .jobs import JobManager
+from .quota import QuotaExceeded
+from .wire import JobSpec
+
+#: Reason phrases for the status codes the API uses.
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+#: Request bodies above this size are rejected outright.
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class HttpError(ReproError):
+    """Terminate request handling with a specific status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        self.status = status
+        super().__init__(message)
+
+
+class Request:
+    """One parsed HTTP request."""
+
+    def __init__(
+        self, method: str, path: str, headers: dict, body: bytes
+    ) -> None:
+        self.method = method
+        self.path = path
+        self.headers = headers
+        self.body = body
+
+    def json(self) -> dict:
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except ValueError:
+            raise HttpError(400, "request body is not valid JSON") from None
+
+
+async def read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Parse one request from the stream; None on a closed connection."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        raise HttpError(400, f"malformed request line {parts!r}")
+    method, target, _version = parts
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > MAX_BODY_BYTES:
+        raise HttpError(400, f"request body too large ({length} bytes)")
+    body = await reader.readexactly(length) if length else b""
+    # Strip any query string; the API does not use one.
+    path = target.split("?", 1)[0]
+    return Request(method.upper(), path, headers, body)
+
+
+def response_bytes(
+    status: int,
+    payload: dict,
+    *,
+    content_type: str = "application/json",
+) -> bytes:
+    """One complete HTTP response (headers + JSON body)."""
+    body = (json.dumps(payload) + "\n").encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    ).encode("latin-1")
+    return head + body
+
+
+def sse_preamble() -> bytes:
+    """Response head that switches the connection to event streaming."""
+    return (
+        "HTTP/1.1 200 OK\r\n"
+        "Content-Type: text/event-stream\r\n"
+        "Cache-Control: no-cache\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    ).encode("latin-1")
+
+
+def sse_event(name: str, payload: dict) -> bytes:
+    """One ``event:``/``data:`` frame."""
+    return (
+        f"event: {name}\ndata: {json.dumps(payload)}\n\n".encode("utf-8")
+    )
+
+
+class ApiHandler:
+    """Routes parsed requests against a :class:`JobManager`."""
+
+    def __init__(self, manager: JobManager) -> None:
+        self.manager = manager
+
+    async def handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """asyncio.start_server callback: serve one request, close."""
+        try:
+            try:
+                request = await read_request(reader)
+                if request is None:
+                    return
+                await self.dispatch(request, writer)
+            except HttpError as error:
+                writer.write(
+                    response_bytes(error.status, {"error": str(error)})
+                )
+            except (ConnectionError, asyncio.IncompleteReadError):
+                return  # client went away; nothing to answer
+            except Exception as error:  # noqa: BLE001 - server stays up
+                writer.write(
+                    response_bytes(
+                        500, {"error": f"{type(error).__name__}: {error}"}
+                    )
+                )
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def dispatch(
+        self, request: Request, writer: asyncio.StreamWriter
+    ) -> None:
+        segments = [s for s in request.path.split("/") if s]
+        if segments == ["v1", "jobs"]:
+            if request.method != "POST":
+                raise HttpError(405, "use POST /v1/jobs to submit")
+            writer.write(self._submit(request))
+        elif len(segments) == 3 and segments[:2] == ["v1", "jobs"]:
+            self._require_get(request)
+            writer.write(self._job_status(segments[2]))
+        elif len(segments) == 4 and segments[:2] == ["v1", "jobs"] and (
+            segments[3] == "events"
+        ):
+            self._require_get(request)
+            await self._stream_events(segments[2], writer)
+        elif segments == ["v1", "fleet"]:
+            self._require_get(request)
+            writer.write(
+                response_bytes(200, self.manager.fleet_snapshot())
+            )
+        elif segments == ["v1", "health"]:
+            self._require_get(request)
+            writer.write(response_bytes(200, {"status": "ok"}))
+        else:
+            raise HttpError(404, f"no route for {request.path!r}")
+
+    @staticmethod
+    def _require_get(request: Request) -> None:
+        if request.method != "GET":
+            raise HttpError(405, f"{request.path} only supports GET")
+
+    # -- endpoints ---------------------------------------------------------
+
+    def _submit(self, request: Request) -> bytes:
+        try:
+            spec = JobSpec.from_dict(request.json())
+        except ConfigurationError as error:
+            raise HttpError(400, str(error)) from None
+        try:
+            job, coalesced = self.manager.submit(spec)
+        except QuotaExceeded as error:
+            writer_payload = {
+                "error": str(error),
+                "quota": error.decision.to_dict(),
+            }
+            return response_bytes(429, writer_payload)
+        payload = {
+            "job": job.to_dict(),
+            "coalesced": coalesced,
+            "href": f"/v1/jobs/{job.id}",
+        }
+        return response_bytes(200 if coalesced else 201, payload)
+
+    def _job_status(self, job_id: str) -> bytes:
+        job = self.manager.get(job_id)
+        if job is None:
+            raise HttpError(404, f"no such job {job_id!r}")
+        payload = {"job": job.to_dict(), "result": None}
+        if job.state == "done":
+            # The exact ResultSet.to_dict() form, under its own key:
+            # decode-and-dump of this value reproduces a local
+            # run's artifact byte for byte.
+            payload["result"] = job.result.to_dict()
+        return response_bytes(200, payload)
+
+    async def _stream_events(
+        self, job_id: str, writer: asyncio.StreamWriter
+    ) -> None:
+        job = self.manager.get(job_id)
+        if job is None:
+            raise HttpError(404, f"no such job {job_id!r}")
+        writer.write(sse_preamble())
+        await writer.drain()
+        loop = asyncio.get_running_loop()
+        cursor = 0
+        try:
+            while True:
+                # Block off-loop on the job's condition variable so the
+                # event loop stays free for other connections.
+                events, cursor, finished = await loop.run_in_executor(
+                    None, job.next_events, cursor, 0.5
+                )
+                for event in events:
+                    writer.write(sse_event("progress", event))
+                if not events:
+                    # Padding during quiet periods doubles as the
+                    # disconnect probe: writing to a closed socket is
+                    # how we learn the client left.
+                    writer.write(b": keep-alive\n\n")
+                await writer.drain()
+                if finished and not events:
+                    writer.write(
+                        sse_event(
+                            "done",
+                            {"state": job.state, "error": job.error},
+                        )
+                    )
+                    await writer.drain()
+                    return
+        except (ConnectionError, OSError):
+            # Client disconnected mid-stream. The job keeps running and
+            # its buffer keeps filling; only this stream ends.
+            return
