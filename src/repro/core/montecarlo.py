@@ -200,6 +200,18 @@ class MonteCarloConfig:
         trial budget (``stopping.max_trials``, default ``trials``) is
         exhausted. ``None`` (default) reproduces the fixed-count
         behaviour bit-identically.
+    kernel:
+        Execution backend for the samplers (see
+        :mod:`repro.core.kernel`). ``"numpy"`` (default) runs against a
+        compiled, fingerprint-cached intensity plan — bit-identical to
+        the legacy object-based sampler, but the plan is built once per
+        design point instead of once per chunk. ``"numba"`` JIT
+        compiles the hot transform when numba is installed (refused
+        loudly otherwise). ``"legacy"`` forces the original
+        object-traversing path — results are identical; it exists so
+        benchmarks can measure the plan layer itself. Because every
+        kernel produces the same bits, this field is deliberately
+        **excluded** from cache keys (``mc_token``) and job wire forms.
     """
 
     trials: int = 200_000
@@ -209,6 +221,7 @@ class MonteCarloConfig:
     max_arrival_rounds: int | None = None
     chunks: int = 1
     stopping: StoppingRule | None = None
+    kernel: str = "numpy"
 
     @property
     def adaptive(self) -> bool:
@@ -229,6 +242,11 @@ class MonteCarloConfig:
             )
         if self.chunks < 1:
             raise EstimationError(f"chunks must be >= 1, got {self.chunks}")
+        if self.kernel not in ("numpy", "numba", "legacy"):
+            raise EstimationError(
+                f"unknown kernel {self.kernel!r}; "
+                "use 'numpy', 'numba', or 'legacy'"
+            )
 
 
 def _estimate_from_samples(
@@ -687,7 +705,18 @@ def _inverse_samples(
 def sample_system_ttf(
     system: SystemModel, config: MonteCarloConfig
 ) -> np.ndarray:
-    """Draw ``trials`` i.i.d. system times to failure (seconds)."""
+    """Draw ``trials`` i.i.d. system times to failure (seconds).
+
+    With ``config.kernel != "legacy"`` the inverse draws run against
+    the system's compiled, fingerprint-cached sampling plan (see
+    :mod:`repro.core.kernel`) — bit-identical numbers, but the
+    intensity tables are built once per design point instead of per
+    call. ``"legacy"`` reproduces the original object path.
+    """
+    if config.method == "inverse" and config.kernel != "legacy":
+        from . import kernel as _kernel
+
+        return _kernel.plan_for_system(system).sample_ttf(config)
     rng = np.random.default_rng(config.seed)
     if config.method == "inverse":
         return _inverse_samples(system.combined_intensity(), config, rng)
@@ -698,6 +727,10 @@ def sample_component_ttf(
     component: Component, config: MonteCarloConfig
 ) -> np.ndarray:
     """Draw times to failure for a single component instance."""
+    if config.method == "inverse" and config.kernel != "legacy":
+        from . import kernel as _kernel
+
+        return _kernel.plan_for_component(component).sample_ttf(config)
     rng = np.random.default_rng(config.seed)
     if config.method == "inverse":
         return _inverse_samples(component.intensity, config, rng)

@@ -221,7 +221,24 @@ class SystemModel:
         Independent Poisson failure processes add their intensities, so
         the system's first-failure process is governed by
         ``sum_i multiplicity_i * lambda_i * v_i(t)``.
+
+        The merge (breakpoint union + per-segment rate sums) is pure in
+        the component contents, so the result is memoized under the
+        system's :attr:`content_fingerprint`: chunked Monte-Carlo runs
+        used to rebuild it per chunk task. Keying the cached value on
+        the fingerprint (rather than a bare lazy attribute) ties
+        invalidation to the same identity every other cache in the
+        stack uses.
         """
+        cached = getattr(self, "_combined", None)
+        fingerprint = self.content_fingerprint
+        if cached is not None and cached[0] == fingerprint:
+            return cached[1]
+        intensity = self._build_combined_intensity()
+        self._combined = (fingerprint, intensity)
+        return intensity
+
+    def _build_combined_intensity(self) -> CyclicIntensity:
         scaled: list[CyclicIntensity] = []
         for comp in self._components:
             intensity = comp.intensity

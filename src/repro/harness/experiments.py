@@ -86,6 +86,7 @@ def _mc_config(
     seed: int = 0,
     chunks: int = 1,
     target_stderr: float | None = None,
+    kernel: str = "numpy",
 ) -> MonteCarloConfig:
     """Monte-Carlo settings for one experiment run.
 
@@ -104,6 +105,7 @@ def _mc_config(
         seed=seed,
         chunks=chunks,
         stopping=stopping,
+        kernel=kernel,
     )
 
 
@@ -267,7 +269,12 @@ def run_table2(
 # ---------------------------------------------------------------------------
 
 
-def run_fig3(trials: int | None = None, validate_mc: bool = True, **_):
+def run_fig3(
+    trials: int | None = None,
+    validate_mc: bool = True,
+    kernel: str = "numpy",
+    **_,
+):
     points = figure3_curves()
     table = Table(
         "Figure 3: AVF-step relative error, 100MB cache, busy/idle loop",
@@ -308,7 +315,9 @@ def run_fig3(trials: int | None = None, validate_mc: bool = True, **_):
         )
         profile = busy_idle_profile(8 * SECONDS_PER_DAY, 16 * SECONDS_PER_DAY)
         comp = Component("cache", p16.rate_per_second, profile)
-        mc = monte_carlo_component_mttf(comp, _mc_config(trials))
+        mc = monte_carlo_component_mttf(
+            comp, _mc_config(trials, kernel=kernel)
+        )
         deviation = signed_relative_error(mc.mttf_seconds, p16.exact_mttf)
         notes.append(
             f"Monte-Carlo check at L=16d, 5x: closed form within "
@@ -441,6 +450,7 @@ def run_sec51(
     cache_dir: str | None = None,
     mc_chunks: int = 1,
     target_stderr: float | None = None,
+    kernel: str = "numpy",
     pipeline_methods: bool = False,
     reallocate_budget: bool = False,
     **_,
@@ -468,7 +478,7 @@ def run_sec51(
         system = spec_uniprocessor_system(bench)
         mc = _mc_config(
             trials, seed=_bench_seed(bench), chunks=mc_chunks,
-            target_stderr=target_stderr,
+            target_stderr=target_stderr, kernel=kernel,
         )
         # Component level: AVF step and MC consistency vs the closed form,
         # one single-component system per unit.
@@ -632,6 +642,7 @@ def run_fig5(
     cache_dir: str | None = None,
     mc_chunks: int = 1,
     target_stderr: float | None = None,
+    kernel: str = "numpy",
     shard: tuple[int, int] | None = None,
     progress=None,
     pipeline_methods: bool = False,
@@ -646,7 +657,10 @@ def run_fig5(
     results = component_sweep(
         workloads,
         n_times_s_values,
-        _mc_config(trials, chunks=mc_chunks, target_stderr=target_stderr),
+        _mc_config(
+            trials, chunks=mc_chunks, target_stderr=target_stderr,
+            kernel=kernel,
+        ),
         workers=workers,
         executor=executor,
         cache=cache,
@@ -721,6 +735,7 @@ def run_fig6a(
     cache_dir: str | None = None,
     mc_chunks: int = 1,
     target_stderr: float | None = None,
+    kernel: str = "numpy",
     shard: tuple[int, int] | None = None,
     progress=None,
     pipeline_methods: bool = False,
@@ -739,7 +754,10 @@ def run_fig6a(
         workloads,
         n_times_s_values,
         component_counts,
-        _mc_config(trials, chunks=mc_chunks, target_stderr=target_stderr),
+        _mc_config(
+            trials, chunks=mc_chunks, target_stderr=target_stderr,
+            kernel=kernel,
+        ),
         workers=workers,
         executor=executor,
         cache=cache,
@@ -804,6 +822,7 @@ def run_fig6b(
     cache_dir: str | None = None,
     mc_chunks: int = 1,
     target_stderr: float | None = None,
+    kernel: str = "numpy",
     shard: tuple[int, int] | None = None,
     progress=None,
     pipeline_methods: bool = False,
@@ -861,7 +880,8 @@ def run_fig6b(
         methods=["sofr_only"],
         reference="monte_carlo",
         mc_config=_mc_config(
-            trials, chunks=mc_chunks, target_stderr=target_stderr
+            trials, chunks=mc_chunks, target_stderr=target_stderr,
+            kernel=kernel,
         ),
         budget_ledger=pass_ledger("zero"),
         **engine,
@@ -876,7 +896,7 @@ def run_fig6b(
         mc_config=dataclasses.replace(
             _mc_config(
                 trials, seed=1, chunks=mc_chunks,
-                target_stderr=target_stderr,
+                target_stderr=target_stderr, kernel=kernel,
             ),
             start_phase="random",
         ),
@@ -967,6 +987,7 @@ def run_compare(
     cache_dir: str | None = None,
     mc_chunks: int = 1,
     target_stderr: float | None = None,
+    kernel: str = "numpy",
     pipeline_methods: bool = False,
     reallocate_budget: bool = False,
     **_,
@@ -1001,7 +1022,7 @@ def run_compare(
             reference=reference,
             mc_config=_mc_config(
                 trials, seed=_bench_seed(bench), chunks=mc_chunks,
-                target_stderr=target_stderr,
+                target_stderr=target_stderr, kernel=kernel,
             ),
             workers=workers,
             executor=executor,
@@ -1045,6 +1066,7 @@ def run_sec54(
     cache_dir: str | None = None,
     mc_chunks: int = 1,
     target_stderr: float | None = None,
+    kernel: str = "numpy",
     shard: tuple[int, int] | None = None,
     progress=None,
     pipeline_methods: bool = False,
@@ -1086,7 +1108,8 @@ def run_sec54(
         methods=["softarch", "first_principles"],
         reference="monte_carlo",
         mc_config=_mc_config(
-            trials, chunks=mc_chunks, target_stderr=target_stderr
+            trials, chunks=mc_chunks, target_stderr=target_stderr,
+            kernel=kernel,
         ),
         workers=workers,
         executor=executor,

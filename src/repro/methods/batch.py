@@ -53,6 +53,7 @@ from concurrent.futures import (
 )
 from typing import Iterable, Sequence
 
+from ..core import kernel as _kernel
 from ..core.comparison import MethodComparison
 from ..core.montecarlo import (
     MomentAccumulator,
@@ -90,6 +91,25 @@ SpaceItem = SystemModel | tuple[str, SystemModel]
 
 #: Supported fan-out backends.
 EXECUTORS = ("thread", "process")
+
+
+def _plan_batches(
+    jobs: Sequence[tuple[int, MonteCarloConfig]], workers: int
+) -> list[list[tuple[int, MonteCarloConfig]]]:
+    """Split ``(chunk_index, config)`` jobs into at most ``workers`` batches.
+
+    One :func:`~repro.core.kernel.run_plan_chunks` pool task runs each
+    batch, so a point's chunk slice costs ``min(workers, chunks)``
+    submissions instead of ``chunks`` — the IPC/pickling amortization
+    half of the compiled-kernel layer. Contiguous slicing keeps every
+    batch's chunk indices ascending, so the parent folds each result
+    list front to back and the :class:`MomentAccumulator` sees the
+    exact per-chunk fold sequence the unbatched path produces.
+    """
+    if not jobs:
+        return []
+    size = -(-len(jobs) // max(1, workers))
+    return [jobs[i : i + size] for i in range(0, len(jobs), size)]
 
 
 def _normalize_space(
@@ -218,6 +238,17 @@ def _stream_chunked_references(
     without meeting the rule lazily submits its next slice of
     extension chunks (up to the ``max_trials`` budget), so a run that
     stops early never speculatively executes its extension tail.
+
+    With a compiled kernel selected (``mc.kernel != "legacy"``) chunk
+    tasks dispatch through fingerprint-cached
+    :class:`~repro.core.kernel.SamplingPlan` batches
+    (:func:`~repro.core.kernel.run_plan_chunks`): contiguous chunk
+    slices coalesce into at most ``workers`` pool tasks, the plan
+    itself ships only until every worker has been hydrated (a key-only
+    task that lands on a cold worker comes back as ``PLAN_MISS`` and is
+    resubmitted with the plan attached), and each batch's moments fold
+    front to back — the accumulator orders folds by chunk index, so
+    every number downstream is bit-identical to the unbatched path.
     """
     plan = adaptive_chunk_configs(mc)
     # The fixed plan has min(chunks, trials) chunks (see chunk_configs);
@@ -228,17 +259,44 @@ def _stream_chunked_references(
         index: MomentAccumulator(len(plan), mc.stopping)
         for index in pending
     }
-    submitted: dict[int, list[Future]] = {index: [] for index in pending}
-    future_meta: dict[Future, tuple[int, int]] = {}
+    batched = mc.kernel != "legacy"
+    plans = (
+        {index: _kernel.plan_for_system(items[index][1]) for index in pending}
+        if batched
+        else {}
+    )
+    shipped: dict[str, int] = {}
+    submitted_chunks: dict[int, int] = {index: 0 for index in pending}
+    futures_of: dict[int, list[Future]] = {index: [] for index in pending}
+    future_meta: dict[Future, tuple] = {}
+
+    def submit_batch(index, jobs, ship_plan=False) -> Future:
+        point_plan = plans[index]
+        key = point_plan.cache_key
+        payload = None
+        if ship_plan or shipped.get(key, 0) < workers:
+            payload = point_plan
+            shipped[key] = shipped.get(key, 0) + 1
+        future = pool.submit(_kernel.run_plan_chunks, key, payload, jobs)
+        futures_of[index].append(future)
+        future_meta[future] = (index, jobs)
+        return future
 
     def submit_chunks(index: int, count: int) -> list[Future]:
-        start = len(submitted[index])
+        start = submitted_chunks[index]
+        stop = min(start + count, len(plan))
+        submitted_chunks[index] = stop
         futures = []
-        for chunk_index in range(start, min(start + count, len(plan))):
+        if batched:
+            jobs = [(ci, plan[ci]) for ci in range(start, stop)]
+            for batch in _plan_batches(jobs, workers):
+                futures.append(submit_batch(index, batch))
+            return futures
+        for chunk_index in range(start, stop):
             future = pool.submit(
                 system_chunk_moments, items[index][1], plan[chunk_index]
             )
-            submitted[index].append(future)
+            futures_of[index].append(future)
             future_meta[future] = (index, chunk_index)
             futures.append(future)
         return futures
@@ -255,18 +313,38 @@ def _stream_chunked_references(
     while waiting:
         completed, waiting = wait(waiting, return_when=FIRST_COMPLETED)
         for future in completed:
-            index, _chunk_index = future_meta[future]
+            index = future_meta[future][0]
             accumulator = accumulators[index]
             if accumulator.done or future.cancelled():
                 continue  # straggler of an already-finalized point
+            if batched:
+                status, payload = future.result()
+                if status == _kernel.PLAN_MISS:
+                    # Cold worker without the plan (spawn start method
+                    # or an evicted cache entry): retry with the plan
+                    # attached. Chunk moments are a pure function of
+                    # the chunk configs, so nothing downstream moves.
+                    waiting.add(
+                        submit_batch(
+                            index, future_meta[future][1], ship_plan=True
+                        )
+                    )
+                    continue
+                pairs = payload
+            else:
+                pairs = [(future_meta[future][1], future.result())]
             merged_before = accumulator.merged_chunks
-            done = accumulator.add(
-                future_meta[future][1], future.result()
-            )
+            done = False
+            for chunk_index, moments in pairs:
+                done = accumulator.add(chunk_index, moments)
+                if done:
+                    # Later pairs of this batch are stragglers exactly
+                    # like late futures: never folded, never counted.
+                    break
             if done:
                 references[index] = accumulator.estimate(label)
                 if accumulator.stopped_early:
-                    for leftover in submitted[index]:
+                    for leftover in futures_of[index]:
                         leftover.cancel()
                 _emit(
                     progress,
@@ -293,7 +371,7 @@ def _stream_chunked_references(
                         rel_stderr=relative_stderr(accumulator.moments),
                     ),
                 )
-            if accumulator.merged_chunks == len(submitted[index]):
+            if accumulator.merged_chunks == submitted_chunks[index]:
                 # Every submitted chunk has merged and the target is
                 # still unmet: release the next extension slice. One
                 # pool-width at a time keeps the workers busy without
@@ -517,9 +595,19 @@ class _PipelinedScheduler:
         self.waiting: set[Future] = set()
         self.future_meta: dict[Future, tuple] = {}
         self.chunk_futures: dict[int, list[Future]] = {}
-        #: Outstanding reference-chunk futures (straggler-inclusive);
-        #: zero means a quiescent barrier for re-allocation purposes.
+        #: Outstanding reference-chunk (or batched-plan) futures
+        #: (straggler-inclusive); zero means a quiescent barrier for
+        #: re-allocation purposes.
         self.live_chunks = 0
+        #: Compiled-kernel dispatch: chunk slices coalesce into
+        #: fingerprint-keyed plan batches (see module helper
+        #: :func:`_plan_batches`); ``legacy`` keeps per-chunk
+        #: ``system_chunk_moments`` submissions as the benchmark axis.
+        self.use_plans = self.chunked and mc.kernel != "legacy"
+        #: Plan-carrying submissions so far, per plan cache key —
+        #: after ``workers`` of them every pool worker holds the plan
+        #: and steady-state batches ship a 64-byte key instead.
+        self._plan_shipped: dict[str, int] = {}
 
     # -- plumbing ----------------------------------------------------------
 
@@ -630,9 +718,18 @@ class _PipelinedScheduler:
 
     def _submit_chunks(self, state: _PointState, count: int) -> None:
         futures = self.chunk_futures.setdefault(state.index, [])
-        for chunk_index in range(
-            state.submitted, min(state.submitted + count, len(state.plan))
-        ):
+        start = state.submitted
+        stop = min(start + count, len(state.plan))
+        state.submitted = stop
+        if self.use_plans:
+            jobs = [
+                (chunk_index, state.plan[chunk_index])
+                for chunk_index in range(start, stop)
+            ]
+            for batch in _plan_batches(jobs, self.workers):
+                self._submit_batch(state, batch)
+            return
+        for chunk_index in range(start, stop):
             future = self.pool.submit(
                 system_chunk_moments, state.system, state.plan[chunk_index]
             )
@@ -640,7 +737,22 @@ class _PipelinedScheduler:
             futures.append(future)
             self.waiting.add(future)
             self.live_chunks += 1
-        state.submitted = len(futures)
+
+    def _submit_batch(self, state: _PointState, jobs, ship_plan=False):
+        """Submit one batched-plan task for a contiguous chunk slice."""
+        plan = _kernel.plan_for_system(state.system)
+        key = plan.cache_key
+        payload = None
+        if ship_plan or self._plan_shipped.get(key, 0) < self.workers:
+            payload = plan
+            self._plan_shipped[key] = self._plan_shipped.get(key, 0) + 1
+        future = self.pool.submit(
+            _kernel.run_plan_chunks, key, payload, jobs
+        )
+        self.future_meta[future] = ("batch", state.index, jobs)
+        self.chunk_futures.setdefault(state.index, []).append(future)
+        self.waiting.add(future)
+        self.live_chunks += 1
 
     def _launch_methods(self, state: _PointState) -> None:
         if not self.pipeline_methods or state.methods_launched:
@@ -752,6 +864,50 @@ class _PipelinedScheduler:
             # unmet: release the next extension slice. One pool-width
             # at a time keeps the workers busy without speculating the
             # whole tail.
+            self._submit_chunks(state, max(1, self.workers))
+
+    def _on_batch(self, future: Future, index: int, jobs) -> None:
+        """Fold one batched-plan result (the compiled-kernel path).
+
+        The result pairs arrive in ascending chunk-index order and fold
+        front to back; the accumulator orders folds by chunk index
+        across batches, so the merged moments, the stop decision, and
+        the extension schedule are bit-identical to per-chunk dispatch.
+        """
+        self.live_chunks -= 1
+        state = self.points[index]
+        accumulator = state.accumulator
+        if accumulator.done or future.cancelled():
+            return
+        status, payload = future.result()
+        if status == _kernel.PLAN_MISS:
+            # Cold worker without the plan (spawn start method or an
+            # evicted cache entry): retry with the plan attached.
+            self._submit_batch(state, jobs, ship_plan=True)
+            return
+        merged_before = accumulator.merged_chunks
+        done = False
+        for chunk_index, moments in payload:
+            done = accumulator.add(chunk_index, moments)
+            if done:
+                # Later pairs of this batch are stragglers exactly like
+                # late futures: never folded, never counted.
+                break
+        if done:
+            if accumulator.satisfied or not self._defer_exhausted():
+                self._finalize_reference(state)
+            return
+        if accumulator.merged_chunks > merged_before:
+            self._emit(
+                ProgressEvent(
+                    state.label, CHUNK_MERGED,
+                    merged_chunks=accumulator.merged_chunks,
+                    total_chunks=accumulator.total_chunks,
+                    trials=accumulator.moments.count,
+                    rel_stderr=relative_stderr(accumulator.moments),
+                )
+            )
+        if accumulator.merged_chunks == state.submitted:
             self._submit_chunks(state, max(1, self.workers))
 
     def _on_reference(self, future: Future, index: int) -> None:
@@ -1038,6 +1194,8 @@ class _PipelinedScheduler:
                     meta = self.future_meta.pop(future)
                     if meta[0] == "chunk":
                         self._on_chunk(future, meta[1], meta[2])
+                    elif meta[0] == "batch":
+                        self._on_batch(future, meta[1], meta[2])
                     elif meta[0] == "reference":
                         self._on_reference(future, meta[1])
                     else:

@@ -51,6 +51,10 @@ from ..methods.cache import mc_token
 JOB_SCHEMA = "repro.job/v1"
 
 #: Fields of the Monte-Carlo wire form (mirrors MonteCarloConfig).
+#: ``kernel`` is deliberately absent: which sampling kernel executes a
+#: job is an executor-local performance choice with bit-identical
+#: output, so it is not part of a job's content — ResultSet JSON bytes
+#: stay identical across kernels and request dedup keeps working.
 _MC_FIELDS = (
     "trials", "seed", "method", "start_phase", "max_arrival_rounds",
     "chunks",

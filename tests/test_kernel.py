@@ -1,0 +1,634 @@
+"""Compiled sampling kernels (PR 7): plans, backends, bit-identity.
+
+The compiled-kernel layer promises *bit-identical* estimates: any
+result computed through a :class:`~repro.core.kernel.SamplingPlan` —
+with batched dispatch, plan hydration, any backend — must byte-match
+the legacy object-graph sampler. These tests enforce that promise at
+every level: compiled tables vs hazard objects, plan sampling vs the
+legacy samplers (property-tested across profiles, methods, and
+phases), the batch engine end to end (executors, worker counts,
+shards, reallocation), the plan wire forms, and the worker hydration
+protocol. Plus the PR-7 satellite invariants: memoized
+``combined_intensity``, the vectorized survival integral's exact
+agreement with the scalar closed forms, and the kernel field staying
+out of cache tokens and job wire forms.
+"""
+
+import dataclasses
+import json
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Component,
+    MonteCarloConfig,
+    StoppingRule,
+    SystemModel,
+    sample_component_ttf,
+    sample_system_ttf,
+)
+from repro.core import kernel as kernel_mod
+from repro.core.kernel import (
+    CompiledNested,
+    CompiledPiecewise,
+    PLAN_MISS,
+    PLAN_OK,
+    SamplingPlan,
+    available_kernels,
+    clear_plan_cache,
+    compile_intensity,
+    get_backend,
+    plan_for_component,
+    plan_for_system,
+    run_plan_chunks,
+)
+from repro.core.montecarlo import adaptive_chunk_configs
+from repro.errors import ConfigurationError, EstimationError, ProfileError
+from repro.masking import busy_idle_profile
+from repro.methods import evaluate_design_space, merge_result_sets
+from repro.methods.cache import mc_token
+from repro.reliability.hazard import (
+    NestedHazard,
+    PiecewiseHazard,
+    _segment_integral,
+    _segment_weighted_integral,
+)
+from repro.service.wire import mc_config_from_dict, mc_config_to_dict
+from repro.units import SECONDS_PER_DAY
+from repro.workloads.longrun import (
+    combined_workload,
+    day_workload,
+    week_workload,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_plan_cache():
+    """Plan hydration is process-global; isolate it per test."""
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+
+
+@pytest.fixture
+def piecewise_system(day_profile):
+    return SystemModel(
+        [
+            Component("cpu", 2.0 / SECONDS_PER_DAY, day_profile),
+            Component(
+                "cache", 1.0 / SECONDS_PER_DAY, day_profile,
+                multiplicity=3,
+            ),
+        ]
+    )
+
+
+@pytest.fixture
+def nested_system():
+    workload = combined_workload(day_workload(0.5), week_workload(5.0))
+    return SystemModel([Component("core", 1e-6, workload)])
+
+
+@st.composite
+def piecewise_hazards(draw, max_segments=5):
+    n = draw(st.integers(min_value=1, max_value=max_segments))
+    durations = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=10.0),
+            min_size=n, max_size=n,
+        )
+    )
+    rates = draw(
+        st.lists(
+            st.one_of(
+                st.just(0.0),
+                st.floats(min_value=1e-6, max_value=5.0),
+            ),
+            min_size=n, max_size=n,
+        )
+    )
+    return PiecewiseHazard.from_segments(list(zip(durations, rates)))
+
+
+@st.composite
+def nested_hazards(draw):
+    n = draw(st.integers(min_value=1, max_value=3))
+    segments = []
+    for _ in range(n):
+        duration = draw(st.floats(min_value=0.5, max_value=20.0))
+        inner = draw(piecewise_hazards(max_segments=3))
+        segments.append((duration, inner))
+    return NestedHazard(segments)
+
+
+# ---------------------------------------------------------------------------
+# Compiled intensities: same tables, same bits, same refusals.
+# ---------------------------------------------------------------------------
+
+
+class TestCompiledIntensity:
+    def grid(self, period):
+        # Interior points, exact breakpoints, and both endpoints.
+        return np.concatenate(
+            [
+                np.linspace(0.0, period, 41),
+                np.asarray([0.0, period]),
+            ]
+        )
+
+    @given(piecewise_hazards())
+    @settings(max_examples=40, deadline=None)
+    def test_piecewise_cumulative_and_invert_bits(self, hazard):
+        compiled = compile_intensity(hazard)
+        taus = self.grid(hazard.period)
+        np.testing.assert_array_equal(
+            compiled.cumulative(taus), hazard.cumulative(taus)
+        )
+        mass = compiled.mass
+        if mass > 0:
+            us = np.concatenate(
+                [
+                    np.linspace(mass * 1e-6, mass, 37),
+                    # The hazard's own cumulative values: exact
+                    # segment-boundary inversions.
+                    hazard.cumulative(taus)[
+                        hazard.cumulative(taus) > 0
+                    ],
+                ]
+            )
+            np.testing.assert_array_equal(
+                compiled.invert(us), hazard.invert(us)
+            )
+
+    @given(nested_hazards())
+    @settings(max_examples=30, deadline=None)
+    def test_nested_cumulative_and_invert_bits(self, hazard):
+        compiled = compile_intensity(hazard)
+        taus = self.grid(hazard.period)
+        np.testing.assert_array_equal(
+            compiled.cumulative(taus), hazard.cumulative(taus)
+        )
+        if compiled.mass > 0:
+            us = np.linspace(compiled.mass * 1e-6, compiled.mass, 37)
+            np.testing.assert_array_equal(
+                compiled.invert(us), hazard.invert(us)
+            )
+
+    def test_extended_evaluation_bits(self, day_profile):
+        hazard = day_profile.to_hazard(2.0 / SECONDS_PER_DAY)
+        compiled = compile_intensity(hazard)
+        t = np.linspace(0.0, 5.5 * hazard.period, 101)[1:]
+        np.testing.assert_array_equal(
+            kernel_mod._cumulative_extended(compiled, t),
+            hazard.cumulative_extended(t),
+        )
+        u = np.linspace(1e-9, 4.0 * compiled.mass, 101)
+        np.testing.assert_array_equal(
+            kernel_mod._invert_extended(compiled, u),
+            hazard.invert_extended(u),
+        )
+
+    def test_validation_matches_hazard(self, day_profile):
+        hazard = day_profile.to_hazard(1e-5)
+        compiled = compile_intensity(hazard)
+        with pytest.raises(ProfileError, match="tau"):
+            compiled.cumulative(np.asarray([-1.0]))
+        with pytest.raises(ProfileError, match="tau"):
+            compiled.cumulative(np.asarray([hazard.period * 2]))
+        with pytest.raises(ProfileError, match="u outside"):
+            compiled.invert(np.asarray([0.0]))
+        with pytest.raises(ProfileError, match="u outside"):
+            compiled.invert(np.asarray([compiled.mass * 2]))
+
+    def test_rejects_uncompilable_intensity(self):
+        with pytest.raises(ConfigurationError, match="cannot compile"):
+            compile_intensity("not an intensity")
+
+    def test_rejects_inconsistent_tables(self):
+        with pytest.raises(ConfigurationError, match="inconsistent"):
+            CompiledPiecewise(
+                np.asarray([0.0, 1.0]),
+                np.asarray([1.0, 2.0]),
+                np.asarray([0.0, 1.0]),
+            )
+
+
+# ---------------------------------------------------------------------------
+# Plan sampling vs the legacy samplers.
+# ---------------------------------------------------------------------------
+
+
+def _config(**overrides):
+    base = dict(trials=400, seed=9, chunks=1)
+    base.update(overrides)
+    return MonteCarloConfig(**base)
+
+
+class TestPlanBitIdentity:
+    @pytest.mark.parametrize("method", ["inverse", "arrival"])
+    @pytest.mark.parametrize("start_phase", ["zero", "random"])
+    def test_system_samples_match_legacy(
+        self, piecewise_system, nested_system, method, start_phase
+    ):
+        for system in (piecewise_system, nested_system):
+            config = _config(
+                method=method, start_phase=start_phase, kernel="legacy"
+            )
+            legacy = sample_system_ttf(system, config)
+            plan = plan_for_system(system)
+            via_plan = plan.sample_ttf(
+                dataclasses.replace(config, kernel="numpy")
+            )
+            np.testing.assert_array_equal(via_plan, legacy)
+
+    @pytest.mark.parametrize("method", ["inverse", "arrival"])
+    def test_component_samples_match_legacy(self, day_profile, method):
+        component = Component("unit", 3.0 / SECONDS_PER_DAY, day_profile)
+        config = _config(method=method, kernel="legacy")
+        legacy = sample_component_ttf(component, config)
+        plan = plan_for_component(component)
+        via_plan = plan.sample_ttf(
+            dataclasses.replace(config, kernel="numpy")
+        )
+        np.testing.assert_array_equal(via_plan, legacy)
+
+    def test_config_routing_is_transparent(self, piecewise_system):
+        """kernel="numpy" on the config routes through plans by itself."""
+        legacy = sample_system_ttf(
+            piecewise_system, _config(kernel="legacy")
+        )
+        routed = sample_system_ttf(
+            piecewise_system, _config(kernel="numpy")
+        )
+        np.testing.assert_array_equal(routed, legacy)
+
+    def test_masked_system_is_all_infinite(self, piecewise_system):
+        masked = SystemModel(
+            [
+                Component(
+                    "off", 0.0, busy_idle_profile(1.0, 2.0, 0.0)
+                )
+            ]
+        )
+        samples = plan_for_system(masked).sample_ttf(_config())
+        assert np.all(np.isinf(samples))
+
+    @given(piecewise_hazards())
+    @settings(max_examples=25, deadline=None)
+    def test_property_samples_match_legacy(self, hazard):
+        # Rebuild a profile-backed component carrying this hazard shape:
+        # rate 1 makes the hazard the vulnerability profile itself.
+        from repro.masking import PiecewiseProfile
+
+        durations = np.diff(hazard.breakpoints)
+        values = np.clip(hazard.rates, 0.0, 1.0)
+        profile = PiecewiseProfile.from_segments(
+            list(zip(durations.tolist(), values.tolist()))
+        )
+        system = SystemModel([Component("c", 0.8, profile)])
+        config = _config(trials=128, kernel="legacy")
+        legacy = sample_system_ttf(system, config)
+        clear_plan_cache()
+        via_plan = plan_for_system(system).sample_ttf(
+            dataclasses.replace(config, kernel="numpy")
+        )
+        np.testing.assert_array_equal(via_plan, legacy)
+
+
+# ---------------------------------------------------------------------------
+# Engine-level equality: every scheduler configuration, same bytes.
+# ---------------------------------------------------------------------------
+
+
+def _space(day_profile):
+    rate = 2.0 / SECONDS_PER_DAY
+    return [
+        (
+            f"C={c}",
+            SystemModel(
+                [Component("node", rate, day_profile, multiplicity=c)]
+            ),
+        )
+        for c in (1, 4, 16)
+    ]
+
+
+def _result_bytes(space, kernel, **kwargs):
+    mc = kwargs.pop(
+        "mc",
+        MonteCarloConfig(trials=2_000, seed=3, chunks=4, kernel=kernel),
+    )
+    if mc.kernel != kernel:
+        mc = dataclasses.replace(mc, kernel=kernel)
+    result = evaluate_design_space(
+        space,
+        methods=["avf_sofr"],
+        reference="monte_carlo",
+        mc_config=mc,
+        skip_unsupported=True,
+        **kwargs,
+    )
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+class TestEngineBitIdentity:
+    def test_kernel_matches_legacy_across_schedulers(self, day_profile):
+        space = _space(day_profile)
+        baseline = _result_bytes(space, "legacy", workers=1)
+        for kwargs in (
+            dict(workers=1, executor="thread"),
+            dict(workers=2, executor="thread"),
+            dict(workers=2, executor="process"),
+            dict(
+                workers=2, executor="process",
+                pipeline_methods=True, reallocate_budget=True,
+            ),
+        ):
+            assert _result_bytes(space, "numpy", **kwargs) == baseline
+
+    def test_adaptive_kernel_matches_legacy(self, day_profile):
+        space = _space(day_profile)
+        mc = MonteCarloConfig(
+            trials=4_000, seed=3, chunks=8,
+            stopping=StoppingRule(
+                target_rel_stderr=0.08, min_trials=500
+            ),
+        )
+        baseline = _result_bytes(space, "legacy", workers=1, mc=mc)
+        assert _result_bytes(space, "numpy", workers=2, mc=mc) == baseline
+        assert (
+            _result_bytes(
+                space, "numpy", workers=2, executor="process", mc=mc
+            )
+            == baseline
+        )
+
+    def test_realloc_kernel_matches_legacy(self, day_profile):
+        space = _space(day_profile)
+        mc = MonteCarloConfig(
+            trials=4_000, seed=3, chunks=8,
+            stopping=StoppingRule(
+                target_rel_stderr=0.08, min_trials=500
+            ),
+        )
+        shared = dict(
+            mc=mc, pipeline_methods=True, reallocate_budget=True
+        )
+        baseline = _result_bytes(space, "legacy", workers=1, **shared)
+        assert (
+            _result_bytes(space, "numpy", workers=2, **shared) == baseline
+        )
+
+    def test_shard_merge_matches_unsharded_legacy(self, day_profile):
+        space = _space(day_profile)
+        unsharded = _result_bytes(space, "legacy", workers=1)
+        shards = [
+            evaluate_design_space(
+                space,
+                methods=["avf_sofr"],
+                reference="monte_carlo",
+                mc_config=MonteCarloConfig(
+                    trials=2_000, seed=3, chunks=4, kernel="numpy"
+                ),
+                skip_unsupported=True,
+                workers=2,
+                executor="process",
+                shard=(i, 2),
+            )
+            for i in (0, 1)
+        ]
+        merged = merge_result_sets(shards)
+        assert json.dumps(merged.to_dict(), sort_keys=True) == unsharded
+
+
+# ---------------------------------------------------------------------------
+# Plan wire forms and pickling.
+# ---------------------------------------------------------------------------
+
+
+class TestPlanWire:
+    def test_round_trip_samples_identically(self, nested_system):
+        plan = plan_for_system(nested_system)
+        clone = SamplingPlan.from_dict(plan.to_dict())
+        config = _config(trials=256)
+        np.testing.assert_array_equal(
+            clone.sample_ttf(config), plan.sample_ttf(config)
+        )
+        assert clone.cache_key == plan.cache_key
+
+    def test_double_round_trip_is_dict_stable(self, piecewise_system):
+        plan = plan_for_system(piecewise_system)
+        once = plan.to_dict()
+        twice = SamplingPlan.from_dict(once).to_dict()
+        assert once == twice
+
+    def test_wire_json_safe(self, nested_system):
+        plan = plan_for_system(nested_system)
+        assert (
+            SamplingPlan.from_dict(
+                json.loads(json.dumps(plan.to_dict()))
+            ).to_dict()
+            == plan.to_dict()
+        )
+
+    def test_rejects_wrong_schema(self):
+        with pytest.raises(ConfigurationError, match="repro.plan/v1"):
+            SamplingPlan.from_dict({"schema": "bogus"})
+
+    def test_pickle_drops_model_cache(self, piecewise_system):
+        plan = plan_for_system(piecewise_system)
+        plan.model()  # populate the per-process cache
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone._model is None
+        config = _config(method="arrival")
+        np.testing.assert_array_equal(
+            clone.sample_ttf(config), plan.sample_ttf(config)
+        )
+
+    def test_arrival_model_rebuild_preserves_fingerprint(
+        self, piecewise_system
+    ):
+        plan = plan_for_system(piecewise_system)
+        rebuilt = SamplingPlan.from_dict(plan.to_dict()).model()
+        assert (
+            rebuilt.content_fingerprint
+            == piecewise_system.content_fingerprint
+        )
+
+
+# ---------------------------------------------------------------------------
+# Hydration cache and the batched-dispatch miss protocol.
+# ---------------------------------------------------------------------------
+
+
+class TestHydration:
+    def test_plan_for_system_memoizes(self, piecewise_system):
+        assert plan_for_system(piecewise_system) is plan_for_system(
+            piecewise_system
+        )
+
+    def test_identical_content_shares_a_plan(self, day_profile):
+        a = SystemModel(
+            [Component("x", 1e-4, day_profile, multiplicity=2)]
+        )
+        b = SystemModel(
+            [Component("x", 1e-4, day_profile, multiplicity=2)]
+        )
+        assert plan_for_system(a) is plan_for_system(b)
+
+    def test_run_plan_chunks_miss_then_hydrate(self, piecewise_system):
+        plan = plan_for_system(piecewise_system)
+        config = _config(trials=512, chunks=2)
+        jobs = list(enumerate(adaptive_chunk_configs(config)))
+        clear_plan_cache()
+        status, payload = run_plan_chunks(plan.cache_key, None, jobs)
+        assert status == PLAN_MISS
+        assert payload == plan.cache_key
+        # Resubmission with the plan attached hydrates the cache...
+        status, pairs = run_plan_chunks(plan.cache_key, plan, jobs)
+        assert status == PLAN_OK
+        assert [index for index, _ in pairs] == [0, 1]
+        # ...so the next key-only call succeeds.
+        status, again = run_plan_chunks(plan.cache_key, None, jobs)
+        assert status == PLAN_OK
+        assert again == pairs
+
+    def test_batch_moments_match_direct_chunks(self, nested_system):
+        plan = plan_for_system(nested_system)
+        config = _config(trials=600, chunks=3)
+        jobs = list(enumerate(adaptive_chunk_configs(config)))
+        _status, pairs = run_plan_chunks(plan.cache_key, plan, jobs)
+        for (index, moments), (_, chunk_config) in zip(pairs, jobs):
+            expected = plan.chunk_moments(chunk_config)
+            assert moments == expected, index
+
+
+# ---------------------------------------------------------------------------
+# Backend registry and configuration validation.
+# ---------------------------------------------------------------------------
+
+
+class TestBackends:
+    def test_available_kernels_always_has_numpy_and_legacy(self):
+        names = available_kernels()
+        assert "numpy" in names
+        assert "legacy" in names
+
+    def test_unknown_kernel_is_loud(self):
+        with pytest.raises(EstimationError, match="unknown kernel"):
+            get_backend("cuda")
+
+    def test_legacy_is_not_an_executable_backend(self):
+        with pytest.raises(EstimationError, match="unknown kernel"):
+            get_backend("legacy")
+
+    def test_config_rejects_unknown_kernel(self):
+        with pytest.raises(EstimationError, match="kernel"):
+            MonteCarloConfig(trials=10, kernel="fortran")
+
+    def test_numba_feature_detection(self, piecewise_system):
+        """The numba backend JITs when present, refuses when absent."""
+        backend = kernel_mod._BACKENDS["numba"]
+        config = _config(kernel="numba")
+        if not backend.available:
+            with pytest.raises(EstimationError, match="numba"):
+                sample_system_ttf(piecewise_system, config)
+            assert "numba" not in available_kernels()
+            return
+        legacy = sample_system_ttf(
+            piecewise_system, dataclasses.replace(config, kernel="legacy")
+        )
+        np.testing.assert_array_equal(
+            sample_system_ttf(piecewise_system, config), legacy
+        )
+
+
+# ---------------------------------------------------------------------------
+# The kernel choice never leaks into cache keys or wire forms.
+# ---------------------------------------------------------------------------
+
+
+class TestKernelTransparency:
+    def test_mc_token_ignores_kernel(self):
+        reference = MonteCarloConfig(trials=100, seed=1, kernel="numpy")
+        for name in ("numba", "legacy"):
+            assert mc_token(
+                dataclasses.replace(reference, kernel=name)
+            ) == mc_token(reference)
+
+    def test_wire_form_has_no_kernel_field(self):
+        config = MonteCarloConfig(trials=100, seed=1, kernel="legacy")
+        payload = mc_config_to_dict(config)
+        assert "kernel" not in payload
+        assert mc_config_from_dict(payload).kernel == "numpy"
+
+
+# ---------------------------------------------------------------------------
+# Satellites: memoized combined_intensity, vectorized survival integral.
+# ---------------------------------------------------------------------------
+
+
+class TestCombinedIntensityMemo:
+    def test_same_object_across_calls(self, piecewise_system):
+        assert (
+            piecewise_system.combined_intensity()
+            is piecewise_system.combined_intensity()
+        )
+
+    def test_memo_preserves_values(self, piecewise_system):
+        first = piecewise_system.combined_intensity()
+        rebuilt = piecewise_system._build_combined_intensity()
+        taus = np.linspace(0.0, first.period, 57)
+        np.testing.assert_array_equal(
+            first.cumulative(taus), rebuilt.cumulative(taus)
+        )
+
+
+def _scalar_survival_integral(hazard, x, weighted):
+    """The pre-vectorization per-segment loop, kept as the reference."""
+    if x <= 0:
+        return 0.0
+    x = min(x, hazard.period)
+    bp, rates, cum = hazard._bp, hazard._rates, hazard._cum
+    m = min(int(np.searchsorted(bp, x, side="left")), rates.size)
+    total = 0.0
+    for i in range(m):
+        t0 = bp[i]
+        t1 = min(bp[i + 1], x)
+        if t1 <= t0:
+            continue
+        segment = (
+            _segment_weighted_integral
+            if weighted
+            else _segment_integral
+        )
+        total += segment(t0, t1, float(cum[i]), float(rates[i]))
+    return total
+
+
+class TestSurvivalIntegralVectorization:
+    @given(piecewise_hazards(max_segments=8), st.floats(0.0, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_bits_match_scalar_loop(self, hazard, fraction):
+        x = hazard.period * fraction
+        for weighted in (False, True):
+            assert hazard._survival_integral_impl(
+                x, weighted
+            ) == _scalar_survival_integral(hazard, x, weighted)
+
+    def test_series_branch_bits(self):
+        # Rates small enough that r*dt < 1e-8 exercises the series
+        # expansion on every segment.
+        hazard = PiecewiseHazard.from_segments(
+            [(1.0, 1e-12), (2.0, 0.0), (0.5, 9e-9)]
+        )
+        for frac in (0.3, 0.9999, 1.0):
+            x = hazard.period * frac
+            for weighted in (False, True):
+                assert hazard._survival_integral_impl(
+                    x, weighted
+                ) == _scalar_survival_integral(hazard, x, weighted)
