@@ -20,7 +20,9 @@ numbers.
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
+import os
 import platform
 import subprocess
 import sys
@@ -498,6 +500,8 @@ def fleet_cases(trials: int, points: int, shards: int = 2):
             "trials": trials,
             "chunks": 8,
             "shards": shards,
+            "workers": 2,
+            "executor": "thread",
             "target_ci_halfwidth": mc.stopping.target_ci_halfwidth,
             "total_reference_trials": sum(
                 merged.reference_trials().values()
@@ -512,6 +516,81 @@ def fleet_cases(trials: int, points: int, shards: int = 2):
             }
         cases.append(record)
     return cases
+
+
+def _result_hash(result_set) -> str:
+    """Short content hash of a ResultSet's canonical JSON bytes."""
+    canonical = json.dumps(result_set.to_dict(), sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def executor_cases(trials: int, points: int, workers: int, repeat: int):
+    """Backend shoot-out on one fixed sweep (the PR-8 executor layer).
+
+    The same fixed-count sweep runs through every registered backend —
+    serial inline, thread pool, process pool, and a two-worker loopback
+    ``repro-worker`` fleet — and each record carries the canonical
+    content hash of its ResultSet next to ``identical_to_serial``, so
+    the artifact *proves* the determinism invariant on the hardware
+    that produced the timings instead of asserting it. ``cpu_count``
+    rides along in every record: on a 1-CPU host the fan-out rows
+    document what parallelism costs there (the honest number), not a
+    hoped-for speedup. The remote row measures loopback TCP framing +
+    JSON codec overhead, i.e. the protocol tax in isolation from any
+    real network.
+    """
+    from repro.methods import RemoteExecutor
+    from repro.methods.worker import BackgroundWorker
+
+    space = _cluster_space(points)
+    mc = MonteCarloConfig(trials=trials, seed=7, chunks=8)
+    cpus = os.cpu_count() or 1
+
+    def run(n_workers, executor):
+        return evaluate_design_space(
+            space,
+            methods=["sofr_only", "first_principles"],
+            mc_config=mc,
+            workers=n_workers,
+            executor=executor,
+            cache=False,
+        )
+
+    records = []
+    serial_hash = None
+    for name, n_workers, executor, label in (
+        ("executors_serial", 1, "thread", "thread"),
+        ("executors_thread", workers, "thread", "thread"),
+        ("executors_process", workers, "process", "process"),
+        ("executors_remote_2loopback", 2, None, "remote"),
+    ):
+        if label == "remote":
+            with BackgroundWorker() as w1, BackgroundWorker() as w2:
+                backend = RemoteExecutor([w1.address, w2.address])
+                seconds, result_set = _timed(
+                    lambda: run("auto", backend), repeat
+                )
+        else:
+            seconds, result_set = _timed(
+                lambda: run(n_workers, executor), repeat
+            )
+        digest = _result_hash(result_set)
+        if serial_hash is None:
+            serial_hash = digest
+        records.append(
+            {
+                "name": name,
+                "seconds": round(seconds, 4),
+                "trials": trials,
+                "chunks": 8,
+                "workers": n_workers,
+                "executor": label,
+                "cpu_count": cpus,
+                "result_hash": digest,
+                "identical_to_serial": digest == serial_hash,
+            }
+        )
+    return records
 
 
 def _percentile(sorted_values: list[float], fraction: float) -> float:
@@ -587,6 +666,8 @@ def service_load_cases(
             "jobs": jobs,
             "distinct_specs": distinct,
             "service_workers": workers,
+            "engine_workers": 1,
+            "engine_executor": "thread",
             "submissions": fleet["submissions"],
             "coalesced": sum(coalesced_flags),
             "dedup_hit_rate": round(sum(coalesced_flags) / jobs, 4),
@@ -598,7 +679,10 @@ def service_load_cases(
 
 
 #: Benchmark sections selectable via --scenario.
-SCENARIOS = ("all", "engine", "kernel", "cache", "fleet", "service_load")
+SCENARIOS = (
+    "all", "engine", "kernel", "cache", "executors", "fleet",
+    "service_load",
+)
 
 
 def run_benchmarks(argv: list[str] | None = None) -> Path:
@@ -687,10 +771,23 @@ def run_benchmarks(argv: list[str] | None = None) -> Path:
                         "seconds": round(seconds, 4),
                         "trials": args.trials,
                         "chunks": 8,
+                        "workers": 1,
+                        "executor": "thread",
                         "entries": len(cache),
                     }
                 )
                 print(f"sweep_disk_cache_{phase:39s} {seconds:8.3f}s")
+
+    # Backend shoot-out: every executor on one sweep, hashes attached.
+    if wants("executors"):
+        for record in executor_cases(
+            args.trials, args.points, args.workers, args.repeat
+        ):
+            results.append(record)
+            print(
+                f"{record['name']:44s} {record['seconds']:8.3f}s  "
+                f"identical_to_serial={record['identical_to_serial']}"
+            )
 
     # Cross-shard fleet: ledger-coordinated vs independent shards.
     if wants("fleet"):
@@ -730,6 +827,7 @@ def run_benchmarks(argv: list[str] | None = None) -> Path:
             "points": args.points,
             "workers": args.workers,
             "repeat": args.repeat,
+            "cpu_count": os.cpu_count() or 1,
         },
         "results": results,
     }

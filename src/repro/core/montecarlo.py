@@ -28,7 +28,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from ..errors import EstimationError
+from ..errors import ConfigurationError, EstimationError
 from ..reliability.metrics import MTTFEstimate
 from .system import Component, SystemModel
 
@@ -369,6 +369,79 @@ def estimate_from_moments(
         trials=moments.count,
         method=method_label,
     )
+
+
+# ---------------------------------------------------------------------------
+# Wire forms.
+# ---------------------------------------------------------------------------
+
+#: Fields of the Monte-Carlo wire form (mirrors MonteCarloConfig).
+#: ``kernel`` is deliberately absent: which sampling kernel executes a
+#: configuration is an executor-local performance choice with
+#: bit-identical output, so it is not part of the configuration's
+#: content — cache tokens, job fingerprints, and remote-worker requests
+#: all stay identical across kernels. A remote worker therefore runs a
+#: shipped config with *its own* default kernel.
+_MC_FIELDS = (
+    "trials", "seed", "method", "start_phase", "max_arrival_rounds",
+    "chunks",
+)
+
+#: Fields of the stopping-rule wire form (mirrors StoppingRule).
+_STOPPING_FIELDS = (
+    "target_rel_stderr", "target_ci_halfwidth", "min_trials",
+    "max_trials", "z",
+)
+
+
+def _reject_unknown(data, allowed, what: str) -> None:
+    if not isinstance(data, dict):
+        raise ConfigurationError(f"{what} wire form must be a dict")
+    unknown = set(data) - set(allowed)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown {what} fields {sorted(unknown)}; "
+            f"allowed: {sorted(allowed)}"
+        )
+
+
+def stopping_rule_to_dict(rule: StoppingRule) -> dict:
+    """Plain-dict form of a stopping rule (defaults included)."""
+    return {name: getattr(rule, name) for name in _STOPPING_FIELDS}
+
+
+def stopping_rule_from_dict(data: dict) -> StoppingRule:
+    """Inverse of :func:`stopping_rule_to_dict` (unknown keys rejected)."""
+    _reject_unknown(data, _STOPPING_FIELDS, "stopping rule")
+    try:
+        return StoppingRule(**data)
+    except TypeError as error:
+        raise ConfigurationError(
+            f"bad stopping-rule wire form: {error}"
+        ) from None
+
+
+def mc_config_to_dict(mc: MonteCarloConfig) -> dict:
+    """Plain-dict form of a Monte-Carlo configuration (lossless)."""
+    data = {name: getattr(mc, name) for name in _MC_FIELDS}
+    if mc.stopping is not None:
+        data["stopping"] = stopping_rule_to_dict(mc.stopping)
+    return data
+
+
+def mc_config_from_dict(data: dict) -> MonteCarloConfig:
+    """Inverse of :func:`mc_config_to_dict` (unknown keys rejected)."""
+    payload = dict(data)
+    stopping = payload.pop("stopping", None)
+    _reject_unknown(payload, _MC_FIELDS, "Monte-Carlo configuration")
+    if stopping is not None:
+        stopping = stopping_rule_from_dict(stopping)
+    try:
+        return MonteCarloConfig(stopping=stopping, **payload)
+    except TypeError as error:
+        raise ConfigurationError(
+            f"bad Monte-Carlo wire form: {error}"
+        ) from None
 
 
 def chunk_configs(config: MonteCarloConfig) -> list[MonteCarloConfig]:

@@ -10,6 +10,8 @@ Usage::
         --reference exact --json compare.json
     repro-experiments fig5 --executor process --workers 8 \\
         --mc-chunks 16 --cache-dir ~/.cache/repro
+    repro-experiments fig5 --executor remote \\
+        --workers hostA:8421,hostB:8421 --mc-chunks 16
     repro-experiments fig5 --trials 1000000 --mc-chunks 32 \\
         --target-stderr 0.01 --progress
     repro-experiments fig5 --shard 0/2 --cache-dir /shared/cache \\
@@ -23,7 +25,9 @@ Usage::
 ``ResultSet.from_json``); ``--method``/``--reference`` select estimators
 from the method registry for experiments that support pluggable method
 sets (e.g. ``compare``). ``--workers``/``--executor`` fan the batch
-engine out over threads or processes, ``--mc-chunks`` splits each
+engine out over threads, processes, or a remote ``repro-worker`` fleet
+(``--workers auto``, the default, asks the backend — cpu count locally,
+fleet size remotely), ``--mc-chunks`` splits each
 Monte-Carlo estimate into seeded chunks (numbers depend on the chunking,
 never the worker count), and ``--cache-dir`` persists every estimate in
 a content-addressed on-disk cache so repeated invocations skip
@@ -210,19 +214,27 @@ def _build_parser() -> argparse.ArgumentParser:
         help="reference method errors are measured against "
         "('monte_carlo' or 'exact')",
     )
+    from ..methods.executors import available_executors
+
     parser.add_argument(
         "--workers",
-        type=int,
-        default=1,
-        metavar="N",
-        help="fan-out width for the batch engine (default: 1, serial)",
+        default="auto",
+        metavar="N|auto|HOST:PORT,...",
+        help="fan-out width for the batch engine: an integer, 'auto' "
+        "(default; cpu count for local executors — on a 1-CPU host "
+        "that is the serial inline path — or the fleet size for "
+        "--executor remote), or a comma-separated list of "
+        "repro-worker addresses (implies --executor remote)",
     )
     parser.add_argument(
         "--executor",
-        choices=("thread", "process"),
-        default="thread",
-        help="fan-out backend: 'thread' (default) or 'process' (true "
-        "parallelism; numbers identical to serial at fixed --mc-chunks)",
+        choices=available_executors(),
+        default=None,
+        help="fan-out backend from the executor registry: 'thread' "
+        "(default), 'process' (single-host true parallelism), or "
+        "'remote' (TCP repro-worker fleet; pass the worker addresses "
+        "via --workers — an address list alone implies remote). "
+        "Numbers are identical across backends at fixed --mc-chunks",
     )
     parser.add_argument(
         "--kernel",
@@ -416,10 +428,21 @@ def main(argv: list[str] | None = None) -> int:
             )
             args.reallocate_budget = True
 
+    from ..errors import ConfigurationError
+    from ..methods.executors import executor_from_cli, parse_workers
+
+    try:
+        executor, workers = executor_from_cli(
+            args.executor, parse_workers(args.workers)
+        )
+    except ConfigurationError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
     run_kwargs: dict = {
         "trials": args.trials,
-        "workers": args.workers,
-        "executor": args.executor,
+        "workers": workers,
+        "executor": executor,
         "cache_dir": args.cache_dir,
         "mc_chunks": args.mc_chunks,
         "target_stderr": args.target_stderr,

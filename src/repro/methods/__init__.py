@@ -12,7 +12,9 @@ makes the method set a first-class, pluggable axis:
 * :func:`~repro.methods.facade.analyze` — the fluent entry point:
   ``analyze(system).using("avf_sofr").against("exact").run()``;
 * :func:`~repro.methods.batch.evaluate_design_space` — the batch engine
-  with per-component memoization and optional thread fan-out;
+  with per-component memoization, fanning out through a pluggable
+  :class:`~repro.methods.executors.ChunkExecutor` backend (thread /
+  process / remote TCP worker fleet);
 * :class:`~repro.methods.results.ResultSet` — serializable results
   (``to_json``/``from_json`` round-trip losslessly).
 """
@@ -32,6 +34,15 @@ from .registry import (
 from . import adapters as _adapters  # noqa: F401 - populates the registry
 from . import uncore as _uncore  # noqa: F401 - registers uncore_ecc
 from .batch import evaluate_design_space, shard_select
+from .executors import (
+    ChunkExecutor,
+    RemoteExecutor,
+    available_executors,
+    executor_name,
+    get_executor,
+    register_executor,
+    unregister_executor,
+)
 from .facade import Analysis, analyze
 from .ledger import BudgetLedger, LedgerState, ledger_path
 from .progress import ProgressEvent
@@ -40,6 +51,7 @@ from .results import ResultSet, merge_result_sets
 __all__ = [
     "Analysis",
     "BudgetLedger",
+    "ChunkExecutor",
     "ComponentCache",
     "DiskCache",
     "Estimator",
@@ -48,17 +60,23 @@ __all__ = [
     "FunctionEstimator",
     "MethodConfig",
     "ProgressEvent",
+    "RemoteExecutor",
     "ResultSet",
     "all_methods",
     "analyze",
     "available",
+    "available_executors",
     "canonical_name",
     "estimate",
     "evaluate_design_space",
+    "executor_name",
     "get",
+    "get_executor",
     "merge_result_sets",
     "register",
+    "register_executor",
     "register_method",
     "shard_select",
     "unregister",
+    "unregister_executor",
 ]

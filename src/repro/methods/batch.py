@@ -9,10 +9,13 @@ with one uniform call, replacing the bespoke per-experiment loops. It
   fingerprint (give the cache a
   :class:`~repro.methods.cache.DiskCache` and a warm rerun of a sweep
   performs zero re-estimations),
-* fans out over a thread pool (``executor="thread"``; the NumPy
-  samplers release the GIL for the heavy draws) or a process pool
-  (``executor="process"``; true parallelism for paper-scale 1e6-trial
-  sweeps),
+* fans out through a pluggable :class:`~repro.methods.executors.ChunkExecutor`
+  backend — a thread pool (``executor="thread"``; the NumPy samplers
+  release the GIL for the heavy draws), a process pool
+  (``executor="process"``; true parallelism on one host), or a TCP
+  worker fleet (``executor="remote"`` /
+  :class:`~repro.methods.executors.RemoteExecutor`; paper-scale
+  1e6-trial sweeps across machines),
 * **streams** Monte-Carlo references at *chunk* granularity: chunk
   moments are folded into a per-point
   :class:`~repro.core.montecarlo.MomentAccumulator` the moment they
@@ -46,8 +49,6 @@ from __future__ import annotations
 from concurrent.futures import (
     FIRST_COMPLETED,
     Future,
-    ProcessPoolExecutor,
-    ThreadPoolExecutor,
     as_completed,
     wait,
 )
@@ -70,6 +71,12 @@ from ..reliability.metrics import MTTFEstimate
 from . import registry
 from .base import ComponentCache, MethodConfig
 from .cache import mc_token
+from .executors import (
+    ChunkExecutor,
+    estimate_task,
+    get_executor,
+    resolve_workers,
+)
 from .ledger import BudgetLedger
 from .progress import (
     BUDGET_CLAIMED,
@@ -88,9 +95,6 @@ from .results import ResultSet, validate_shard
 
 #: A design space item: a system, optionally labeled.
 SpaceItem = SystemModel | tuple[str, SystemModel]
-
-#: Supported fan-out backends.
-EXECUTORS = ("thread", "process")
 
 
 def _plan_batches(
@@ -153,22 +157,6 @@ def _emit(progress: ProgressCallback | None, event: ProgressEvent) -> None:
         progress(event)
 
 
-def _estimate_task(
-    method_name: str,
-    system: SystemModel,
-    mc: MonteCarloConfig,
-    reference: str,
-) -> MTTFEstimate:
-    """Run one estimate in a worker process (top-level: picklable).
-
-    The worker rebuilds a cache-free :class:`MethodConfig`; caching
-    happens only in the parent so the shared cache needs no cross-process
-    coordination.
-    """
-    config = MethodConfig(mc=mc, reference=reference, cache=None)
-    return registry.get(method_name).estimate(system, config)
-
-
 def _finish_item(
     item: tuple[str, SystemModel],
     ref: MTTFEstimate,
@@ -221,7 +209,7 @@ def _stream_chunked_references(
     pending: Sequence[int],
     references: list[MTTFEstimate | None],
     mc: MonteCarloConfig,
-    pool: ProcessPoolExecutor,
+    pool,
     workers: int,
     progress: ProgressCallback | None,
 ) -> None:
@@ -386,10 +374,13 @@ def _process_references(
     config: MethodConfig,
     cache: ComponentCache | None,
     workers: int,
+    backend: ChunkExecutor,
     progress: ProgressCallback | None = None,
 ) -> list[MTTFEstimate]:
-    """Reference estimates for every item via a process pool.
+    """Reference estimates for every item via a memory-isolated backend.
 
+    The pool comes from ``backend`` (a process pool or a remote worker
+    fleet — any backend with ``shares_memory=False`` takes this path).
     Cache hits are resolved in the parent; only misses are farmed out.
     Monte-Carlo references with chunking (or a stopping rule) stream
     through :func:`_stream_chunked_references` so one expensive grid
@@ -425,7 +416,7 @@ def _process_references(
         chunked = reference_name == "monte_carlo" and (
             config.mc.chunks > 1 or config.mc.adaptive
         )
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        with backend.pool(workers) as pool:
             if chunked:
                 _stream_chunked_references(
                     items, pending, references, config.mc, pool,
@@ -434,7 +425,7 @@ def _process_references(
             else:
                 futures = {
                     pool.submit(
-                        _estimate_task,
+                        estimate_task,
                         reference_name,
                         items[index][1],
                         config.mc,
@@ -543,7 +534,7 @@ class _PipelinedScheduler:
         config: MethodConfig,
         cache: ComponentCache | None,
         workers: int,
-        executor: str,
+        backend: ChunkExecutor,
         progress: ProgressCallback | None,
         pipeline_methods: bool,
         reallocate_budget: bool,
@@ -557,7 +548,7 @@ class _PipelinedScheduler:
         self.config = config
         self.cache = cache
         self.workers = workers
-        self.executor = executor
+        self.backend = backend
         self.progress = progress
         self.pipeline_methods = pipeline_methods
         self.reallocate = reallocate_budget
@@ -703,9 +694,9 @@ class _PipelinedScheduler:
             self._submit_chunks(state, base_count)
             return
         self._emit(ProgressEvent(state.label, POINT_START))
-        if self.executor == "process":
+        if not self.backend.shares_memory:
             future = self.pool.submit(
-                _estimate_task, self.reference_name, state.system,
+                estimate_task, self.reference_name, state.system,
                 self.config.mc, self.reference_name,
             )
         else:
@@ -787,7 +778,7 @@ class _PipelinedScheduler:
                         )
                     )
                     continue
-            if self.executor == "process":
+            if not self.backend.shares_memory:
                 if estimator.per_component and self.cache is not None:
                     # A worker would rebuild a cache-free config and
                     # re-sample every component MTTF per point; for
@@ -815,7 +806,7 @@ class _PipelinedScheduler:
                 # Workers rebuild a cache-free config; caching stays in
                 # the parent so it needs no cross-process coordination.
                 future = self.pool.submit(
-                    _estimate_task, name, state.system, self.config.mc,
+                    estimate_task, name, state.system, self.config.mc,
                     self.reference_name,
                 )
             else:
@@ -1169,12 +1160,7 @@ class _PipelinedScheduler:
                 self.method_names,
                 self.reference_name,
             )
-        pool_cls = (
-            ProcessPoolExecutor
-            if self.executor == "process"
-            else ThreadPoolExecutor
-        )
-        with pool_cls(max_workers=self.workers) as pool:
+        with self.backend.pool(self.workers) as pool:
             self.pool = pool
             for state in self.points:
                 self._start_point(state)
@@ -1244,8 +1230,8 @@ def evaluate_design_space(
     methods: Sequence[str],
     reference: str = "monte_carlo",
     mc_config: MonteCarloConfig | None = None,
-    workers: int = 1,
-    executor: str = "thread",
+    workers: int | str = 1,
+    executor: str | ChunkExecutor = "thread",
     cache: ComponentCache | bool | None = None,
     skip_unsupported: bool = False,
     shard: tuple[int, int] | None = None,
@@ -1274,14 +1260,20 @@ def evaluate_design_space(
         stderr is reached. Numbers depend on the chunking and the rule,
         never on the worker count or executor.
     workers:
-        Fan-out width; 1 (default) runs serially. Results keep the
-        input order either way.
+        Fan-out width; 1 (default) runs serially, ``"auto"`` asks the
+        backend (cpu count for local pools, fleet size for a remote
+        executor). Results keep the input order either way.
     executor:
-        ``"thread"`` (default) or ``"process"``. Threads suit the
-        GIL-releasing NumPy samplers; processes buy true parallelism
-        for paper-scale sweeps. The process pool streams reference
-        chunks (the expensive part); method estimates and caching stay
-        in the parent.
+        A registered backend name — ``"thread"`` (default),
+        ``"process"``, ``"remote"`` — or a
+        :class:`~repro.methods.executors.ChunkExecutor` instance such
+        as ``RemoteExecutor(["hostA:8421", "hostB:8421"])``. Threads
+        suit the GIL-releasing NumPy samplers; processes buy true
+        parallelism on one host; a remote fleet scales past it.
+        Memory-isolated backends (``shares_memory=False``) stream
+        reference chunks (the expensive part); method estimates and
+        caching stay in the parent. The backend never affects the
+        numbers.
     cache:
         ``None`` (default) uses a fresh per-call cache,
         ``False`` disables memoization, or pass a
@@ -1342,12 +1334,11 @@ def evaluate_design_space(
         raise ConfigurationError(
             f"methods must not be empty; available: {registry.available()}"
         )
-    if executor not in EXECUTORS:
-        raise ConfigurationError(
-            f"unknown executor {executor!r}; use one of {EXECUTORS}"
-        )
-    if workers < 1:
-        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    # The executor registry is the one source of truth: registering a
+    # backend (see executors.register_executor) legalizes its spelling
+    # here, on the CLI, and in repro-serve alike.
+    backend = get_executor(executor)
+    workers = resolve_workers(workers, backend)
     method_names = [registry.get(name).name for name in methods]
     reference_name = registry.canonical_name(reference)
     if cache is None or cache is True:
@@ -1421,7 +1412,7 @@ def evaluate_design_space(
             config=config,
             cache=cache,
             workers=workers,
-            executor=executor,
+            backend=backend,
             progress=progress,
             pipeline_methods=pipeline_methods,
             reallocate_budget=reallocate_budget,
@@ -1429,17 +1420,17 @@ def evaluate_design_space(
             shard=shard,
             budget_ledger=budget_ledger,
         ).run()
-    elif executor == "process":
+    elif not backend.shares_memory:
         references = _process_references(
             items, reference_name, reference_estimator, config, cache,
-            workers, progress,
+            workers, backend, progress,
         )
         comparisons = tuple(
             finish_item(item, ref)
             for item, ref in zip(items, references)
         )
     elif workers > 1 and len(items) > 1:
-        with ThreadPoolExecutor(max_workers=workers) as pool:
+        with backend.pool(workers) as pool:
             comparisons = tuple(pool.map(evaluate_one, items))
     else:
         comparisons = tuple(evaluate_one(item) for item in items)

@@ -37,6 +37,7 @@ import threading
 from typing import Sequence
 
 from ..methods.base import ComponentCache
+from ..methods.executors import executor_name
 from .quota import TrialQuota
 from .wire import JobSpec
 
@@ -148,7 +149,10 @@ class JobManager:
     executes via :meth:`JobSpec.run` with the shared ``cache`` and the
     engine-level ``engine_workers``/``engine_executor`` scaling knobs
     (which, by the engine's determinism invariants, never change the
-    numbers). The manager is fully usable without any HTTP in front of
+    numbers). ``engine_executor`` takes any registered backend name or
+    :class:`~repro.methods.executors.ChunkExecutor` instance — point a
+    :class:`~repro.methods.executors.RemoteExecutor` at a
+    ``repro-worker`` fleet and every served job fans out over it. The manager is fully usable without any HTTP in front of
     it — the server layer is a thin translation onto these methods.
     """
 
@@ -158,7 +162,7 @@ class JobManager:
         *,
         workers: int = 2,
         engine_workers: int = 1,
-        engine_executor: str = "thread",
+        engine_executor="thread",
         quota: TrialQuota | None = None,
     ) -> None:
         self.cache = cache if cache is not None else ComponentCache()
@@ -267,7 +271,7 @@ class JobManager:
             "workers": len(self._workers),
             "engine": {
                 "workers": self.engine_workers,
-                "executor": self.engine_executor,
+                "executor": executor_name(self.engine_executor),
             },
             "jobs": states,
             "submissions": submissions,

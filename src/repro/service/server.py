@@ -18,6 +18,7 @@ import threading
 
 from ..methods.base import ComponentCache
 from ..methods.cache import DiskCache, resolve_cache_dir
+from ..methods.executors import RemoteExecutor, available_executors
 from .http import ApiHandler
 from .jobs import JobManager
 from .quota import TrialQuota
@@ -45,6 +46,11 @@ class AnalysisService:
     (``None`` = unmetered). ``workers`` sizes the job worker pool;
     ``engine_workers``/``engine_executor`` are passed through to
     ``evaluate_design_space`` and never affect the numbers.
+    ``engine_executor`` accepts any registered backend name or
+    :class:`~repro.methods.executors.ChunkExecutor` instance, so the
+    server's engine pool can point at the same ``repro-worker`` fleet
+    the CLI uses (``--engine-fleet`` builds the
+    :class:`~repro.methods.executors.RemoteExecutor` for you).
     """
 
     def __init__(
@@ -56,7 +62,7 @@ class AnalysisService:
         cache: ComponentCache | None = None,
         workers: int = 2,
         engine_workers: int = 1,
-        engine_executor: str = "thread",
+        engine_executor="thread",
         quota_trials: int | None = None,
     ) -> None:
         self.host = host
@@ -187,8 +193,15 @@ def main(argv: list[str] | None = None) -> int:
         help="evaluate_design_space workers per job (default %(default)s)",
     )
     parser.add_argument(
-        "--executor", choices=("thread", "process"), default="thread",
-        help="engine executor per job (default %(default)s)",
+        "--executor", choices=available_executors(), default="thread",
+        help="engine executor per job, from the backend registry "
+        "(default %(default)s); 'remote' needs --engine-fleet",
+    )
+    parser.add_argument(
+        "--engine-fleet", metavar="HOST:PORT,...", default=None,
+        help="comma-separated repro-worker addresses; the engine pool "
+        "fans every job's chunks out over this fleet (implies "
+        "--executor remote)",
     )
     parser.add_argument(
         "--quota-trials", type=int, default=None,
@@ -198,13 +211,25 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     args = parser.parse_args(argv)
+    engine_executor = args.executor
+    engine_workers = args.engine_workers
+    if args.engine_fleet is not None:
+        addresses = [
+            part.strip()
+            for part in args.engine_fleet.split(",")
+            if part.strip()
+        ]
+        engine_executor = RemoteExecutor(addresses)
+        engine_workers = max(engine_workers, len(addresses))
+    elif engine_executor == "remote":
+        parser.error("--executor remote needs --engine-fleet HOST:PORT,...")
     service = AnalysisService(
         host=args.host,
         port=args.port,
         cache_dir=args.cache_dir,
         workers=args.workers,
-        engine_workers=args.engine_workers,
-        engine_executor=args.executor,
+        engine_workers=engine_workers,
+        engine_executor=engine_executor,
         quota_trials=args.quota_trials,
     )
 

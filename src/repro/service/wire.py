@@ -39,84 +39,38 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field, replace
-from typing import Sequence
 
-from ..core.montecarlo import MonteCarloConfig, StoppingRule
+from ..core.montecarlo import (
+    MonteCarloConfig,
+    mc_config_from_dict,
+    mc_config_to_dict,
+    stopping_rule_from_dict,
+    stopping_rule_to_dict,
+)
 from ..core.system import SystemModel
 from ..errors import ConfigurationError, EstimationError, ReproError
 from ..methods import registry
 from ..methods.cache import mc_token
 
+# The MC/stopping codecs live in repro.core.montecarlo (the executor
+# wire protocol in repro.methods.executors shares them, and methods must
+# not depend on the service layer above it); re-exported here because
+# they are part of the job wire vocabulary. ``kernel`` is deliberately
+# absent from the MC wire form: which sampling kernel executes a job is
+# an executor-local performance choice with bit-identical output, so
+# ResultSet JSON bytes stay identical across kernels and request dedup
+# keeps working.
+__all__ = [
+    "JOB_SCHEMA",
+    "JobSpec",
+    "mc_config_from_dict",
+    "mc_config_to_dict",
+    "stopping_rule_from_dict",
+    "stopping_rule_to_dict",
+]
+
 #: Schema tag of the job-submission document.
 JOB_SCHEMA = "repro.job/v1"
-
-#: Fields of the Monte-Carlo wire form (mirrors MonteCarloConfig).
-#: ``kernel`` is deliberately absent: which sampling kernel executes a
-#: job is an executor-local performance choice with bit-identical
-#: output, so it is not part of a job's content — ResultSet JSON bytes
-#: stay identical across kernels and request dedup keeps working.
-_MC_FIELDS = (
-    "trials", "seed", "method", "start_phase", "max_arrival_rounds",
-    "chunks",
-)
-
-#: Fields of the stopping-rule wire form (mirrors StoppingRule).
-_STOPPING_FIELDS = (
-    "target_rel_stderr", "target_ci_halfwidth", "min_trials",
-    "max_trials", "z",
-)
-
-
-def stopping_rule_to_dict(rule: StoppingRule) -> dict:
-    """Plain-dict form of a stopping rule (defaults included)."""
-    return {name: getattr(rule, name) for name in _STOPPING_FIELDS}
-
-
-def stopping_rule_from_dict(data: dict) -> StoppingRule:
-    """Inverse of :func:`stopping_rule_to_dict` (unknown keys rejected)."""
-    _reject_unknown(data, _STOPPING_FIELDS, "stopping rule")
-    try:
-        return StoppingRule(**data)
-    except TypeError as error:
-        raise ConfigurationError(
-            f"bad stopping-rule wire form: {error}"
-        ) from None
-
-
-def mc_config_to_dict(mc: MonteCarloConfig) -> dict:
-    """Plain-dict form of a Monte-Carlo configuration (lossless)."""
-    data = {name: getattr(mc, name) for name in _MC_FIELDS}
-    if mc.stopping is not None:
-        data["stopping"] = stopping_rule_to_dict(mc.stopping)
-    return data
-
-
-def mc_config_from_dict(data: dict) -> MonteCarloConfig:
-    """Inverse of :func:`mc_config_to_dict` (unknown keys rejected)."""
-    payload = dict(data)
-    stopping = payload.pop("stopping", None)
-    _reject_unknown(payload, _MC_FIELDS, "Monte-Carlo configuration")
-    if stopping is not None:
-        stopping = stopping_rule_from_dict(stopping)
-    try:
-        return MonteCarloConfig(stopping=stopping, **payload)
-    except TypeError as error:
-        raise ConfigurationError(
-            f"bad Monte-Carlo wire form: {error}"
-        ) from None
-
-
-def _reject_unknown(
-    data: dict, allowed: Sequence[str], what: str
-) -> None:
-    if not isinstance(data, dict):
-        raise ConfigurationError(f"{what} wire form must be a dict")
-    unknown = set(data) - set(allowed)
-    if unknown:
-        raise ConfigurationError(
-            f"unknown {what} fields {sorted(unknown)}; "
-            f"allowed: {sorted(allowed)}"
-        )
 
 
 @dataclass(frozen=True)
@@ -215,6 +169,10 @@ class JobSpec:
         methods, same reference, same ``MonteCarloConfig`` — and the
         engine's determinism invariants make ``workers``/``executor``
         (the server's scaling knobs) invisible in the numbers.
+        ``executor`` accepts any registered backend name or
+        :class:`~repro.methods.executors.ChunkExecutor` instance (e.g.
+        a :class:`~repro.methods.executors.RemoteExecutor` pointed at a
+        worker fleet).
         """
         from ..methods.batch import evaluate_design_space
 

@@ -50,7 +50,10 @@ class TestReadme:
 
     def test_cli_names_match_entry_points(self, readme):
         pyproject = (ROOT / "pyproject.toml").read_text(encoding="utf-8")
-        for tool in ("repro-experiments", "repro-serve", "repro-simulate"):
+        for tool in (
+            "repro-experiments", "repro-serve", "repro-simulate",
+            "repro-worker",
+        ):
             assert tool in readme
             assert tool in pyproject
 
