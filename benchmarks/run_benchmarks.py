@@ -678,10 +678,36 @@ def service_load_cases(
     ]
 
 
+def lint_cases(repeat: int):
+    """Wall time of the repro-lint gate over the real src/ tree.
+
+    The lint-gate CI job pays this cost on every push; recording it
+    here keeps "the linter is slow" a diffable number. The record also
+    carries the scan size (files, rules, audited suppressions) so a
+    timing shift can be attributed to tree growth vs rule cost, and
+    asserts the tree is actually clean — a benchmark of a failing gate
+    would time the wrong thing.
+    """
+    from repro.lint import available_rules, run_lint
+
+    src = Path(__file__).resolve().parent.parent / "src"
+    seconds, report = _timed(lambda: run_lint([src]), repeat)
+    return [
+        {
+            "name": "lint_full_src_tree",
+            "seconds": round(seconds, 4),
+            "files_scanned": report.files_scanned,
+            "rules_run": len(available_rules()),
+            "findings": len(report.findings),
+            "audited_suppressions": len(report.suppressed),
+        }
+    ]
+
+
 #: Benchmark sections selectable via --scenario.
 SCENARIOS = (
     "all", "engine", "kernel", "cache", "executors", "fleet",
-    "service_load",
+    "service_load", "lint",
 )
 
 
@@ -815,6 +841,17 @@ def run_benchmarks(argv: list[str] | None = None) -> Path:
                 f"dedup={record['coalesced']}/{record['jobs']}  "
                 f"p50={record['p50_latency_s']}s "
                 f"p95={record['p95_latency_s']}s"
+            )
+
+    # Static-analysis gate: repro-lint wall time over src/.
+    if wants("lint"):
+        for record in lint_cases(args.repeat):
+            results.append(record)
+            print(
+                f"{record['name']:44s} {record['seconds']:8.3f}s  "
+                f"files={record['files_scanned']} "
+                f"findings={record['findings']} "
+                f"suppressions={record['audited_suppressions']}"
             )
 
     payload = {

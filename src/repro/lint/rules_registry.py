@@ -1,0 +1,377 @@
+"""R1 — registry/documentation consistency rules.
+
+The repo's registries are its public vocabulary: estimation methods
+(``@register_method``), executor backends (``register_executor``),
+progress-event kinds (``methods/progress.py``), cross-shard ledger
+record kinds (``methods/ledger.py``), and the wire-schema tags every
+protocol speaks. DESIGN.md and ``docs/`` promise that each vocabulary
+is documented in full; these rules make the promise a static check by
+cross-referencing the AST of the scanned sources against the doc
+texts — generalizing the ad-hoc guards that used to live in
+``tests/test_docs_consistency.py`` (which is now a thin
+``repro-lint --rules R1`` invocation).
+
+* ``R100`` — the referenced documentation files exist at all;
+* ``R101`` — every registered method name appears in DESIGN.md *and*
+  README.md;
+* ``R102`` — every registered executor backend name appears in
+  DESIGN.md;
+* ``R103`` — every progress-event kind is in DESIGN.md's vocabulary
+  table (backticked) and in the progress module's docstrings;
+* ``R104`` — every ledger record kind is in DESIGN.md (backticked);
+* ``R105`` — every progress-event constant is actually used by the
+  batch engine (a stale constant documents a kind nothing emits);
+* ``R106`` — every wire-schema tag (``*_SCHEMA = "repro.<x>/v<n>"``)
+  appears in the documentation set.
+
+Findings anchor at the registration/constant site in the *source*, so
+a missing doc entry is attributed to the code that demands it.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import TYPE_CHECKING, Iterable
+
+from .model import Finding
+from .registry import Rule, register_rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Project
+
+#: Documentation files the rules cross-reference (project-relative).
+REQUIRED_DOCS = ("README.md", "DESIGN.md", "docs/SCHEDULER.md")
+
+#: Where a wire-schema tag may be documented.
+SCHEMA_DOC_SET = (
+    "README.md", "DESIGN.md", "docs/SCHEDULER.md", "docs/SERVICE.md",
+    "docs/LINT.md",
+)
+
+_SCHEMA_TAG_RE = re.compile(r"^repro\.[a-z0-9-]+/v\d+$")
+
+
+def _word_in(name: str, text: str) -> bool:
+    """Whole-word occurrence (``avf`` must not match ``avf_sofr``)."""
+    return (
+        re.search(
+            rf"(?<![A-Za-z0-9_-]){re.escape(name)}(?![A-Za-z0-9_-])",
+            text,
+        )
+        is not None
+    )
+
+
+def _str_arg(node: ast.Call) -> str | None:
+    if node.args and isinstance(node.args[0], ast.Constant):
+        value = node.args[0].value
+        if isinstance(value, str):
+            return value
+    return None
+
+
+def _terminal(func: ast.AST) -> str | None:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def registered_methods(project: "Project") -> list[tuple[str, str, int]]:
+    """``(name, rel, line)`` for every ``@register_method("name")``."""
+    found = []
+    for rel, src in sorted(project.files.items()):
+        for node in ast.walk(src.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            for decorator in node.decorator_list:
+                if (
+                    isinstance(decorator, ast.Call)
+                    and _terminal(decorator.func) == "register_method"
+                ):
+                    name = _str_arg(decorator)
+                    if name:
+                        found.append((name, rel, decorator.lineno))
+    return found
+
+
+def registered_executors(project: "Project") -> list[tuple[str, str, int]]:
+    """``(name, rel, line)`` for every ``register_executor(Cls())``.
+
+    The backend's name is its class-level ``name = "..."`` attribute,
+    resolved within the registering module.
+    """
+    found = []
+    for rel, src in sorted(project.files.items()):
+        class_names = {}
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.ClassDef):
+                for stmt in node.body:
+                    if (
+                        isinstance(stmt, ast.Assign)
+                        and len(stmt.targets) == 1
+                        and isinstance(stmt.targets[0], ast.Name)
+                        and stmt.targets[0].id == "name"
+                        and isinstance(stmt.value, ast.Constant)
+                        and isinstance(stmt.value.value, str)
+                    ):
+                        class_names[node.name] = stmt.value.value
+        for node in ast.walk(src.tree):
+            if (
+                isinstance(node, ast.Call)
+                and _terminal(node.func) == "register_executor"
+                and node.args
+                and isinstance(node.args[0], ast.Call)
+            ):
+                cls = _terminal(node.args[0].func)
+                name = class_names.get(cls or "")
+                if name:
+                    found.append((name, rel, node.lineno))
+    return found
+
+
+def _module_constants(
+    project: "Project", suffix: str
+) -> list[tuple[str, str, str, int]]:
+    """``(const_name, value, rel, line)`` for vocabulary constants.
+
+    A vocabulary constant is a module-level ``UPPER = "string"``
+    assignment in the module whose path ends with ``suffix``; schema
+    tags (values containing ``/``) are a different vocabulary (R106)
+    and are excluded here.
+    """
+    found = []
+    for rel, src in sorted(project.files.items()):
+        if not rel.endswith(suffix):
+            continue
+        for node in src.tree.body:
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id.isupper()
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, str)
+                and "/" not in node.value.value
+            ):
+                found.append(
+                    (
+                        node.targets[0].id,
+                        node.value.value,
+                        rel,
+                        node.lineno,
+                    )
+                )
+    return found
+
+
+def progress_kinds(project: "Project") -> list[tuple[str, str, str, int]]:
+    return _module_constants(project, "methods/progress.py")
+
+
+def ledger_kinds(project: "Project") -> list[tuple[str, str, str, int]]:
+    return _module_constants(project, "methods/ledger.py")
+
+
+def _docstrings(src) -> str:
+    """Module docstring + every class docstring of one source file."""
+    texts = [ast.get_docstring(src.tree) or ""]
+    for node in ast.walk(src.tree):
+        if isinstance(node, ast.ClassDef):
+            texts.append(ast.get_docstring(node) or "")
+    return "\n".join(texts)
+
+
+@register_rule
+class RequiredDocsRule(Rule):
+    rule_id = "R100"
+    title = "referenced documentation files exist"
+    scope = "project"
+    rationale = (
+        "the vocabulary cross-checks below are only meaningful when "
+        "DESIGN.md, README.md, and docs/SCHEDULER.md are actually "
+        "present at the project root"
+    )
+
+    def check_project(self, project: "Project") -> Iterable[Finding]:
+        for doc in REQUIRED_DOCS:
+            if project.doc_text(doc) is None:
+                yield self.finding(
+                    doc, 1, f"required documentation file {doc} not "
+                    "found at the project root"
+                )
+
+
+@register_rule
+class MethodsDocumentedRule(Rule):
+    rule_id = "R101"
+    title = "registered methods documented"
+    scope = "project"
+    rationale = (
+        "every @register_method name is user-facing CLI/API "
+        "vocabulary; DESIGN.md and README.md must list it or users "
+        "discover methods only by reading adapters"
+    )
+
+    def check_project(self, project: "Project") -> Iterable[Finding]:
+        for doc in ("DESIGN.md", "README.md"):
+            text = project.doc_text(doc)
+            if text is None:
+                continue  # R100's finding
+            for name, rel, line in registered_methods(project):
+                if not _word_in(name, text):
+                    yield self.finding(
+                        rel, line,
+                        f"registered method {name!r} missing from "
+                        f"{doc}",
+                    )
+
+
+@register_rule
+class ExecutorsDocumentedRule(Rule):
+    rule_id = "R102"
+    title = "registered executors documented"
+    scope = "project"
+    rationale = (
+        "executor backend names legalize --executor spellings "
+        "everywhere; DESIGN.md's execution-layer section must name "
+        "each registered backend"
+    )
+
+    def check_project(self, project: "Project") -> Iterable[Finding]:
+        text = project.doc_text("DESIGN.md")
+        if text is None:
+            return
+        for name, rel, line in registered_executors(project):
+            if not _word_in(name, text):
+                yield self.finding(
+                    rel, line,
+                    f"registered executor {name!r} missing from "
+                    "DESIGN.md",
+                )
+
+
+@register_rule
+class ProgressKindsDocumentedRule(Rule):
+    rule_id = "R103"
+    title = "progress-event kinds documented"
+    scope = "project"
+    rationale = (
+        "the progress-event vocabulary is both an observability "
+        "contract and the service's SSE wire format; DESIGN.md's "
+        "table and the module docstrings must carry every kind"
+    )
+
+    def check_project(self, project: "Project") -> Iterable[Finding]:
+        design = project.doc_text("DESIGN.md")
+        for const, value, rel, line in progress_kinds(project):
+            if design is not None and f"`{value}`" not in design:
+                yield self.finding(
+                    rel, line,
+                    f"progress-event kind {const} = {value!r} missing "
+                    "from DESIGN.md's vocabulary table",
+                )
+            docs = _docstrings(project.files[rel])
+            if f'"{value}"' not in docs:
+                yield self.finding(
+                    rel, line,
+                    f"progress-event kind {const} = {value!r} missing "
+                    "from the progress module/class docstrings",
+                )
+
+
+@register_rule
+class LedgerKindsDocumentedRule(Rule):
+    rule_id = "R104"
+    title = "ledger record kinds documented"
+    scope = "project"
+    rationale = (
+        "ledger records are replayed bit-for-bit across shard fleets; "
+        "an undocumented record kind cannot be audited against "
+        "DESIGN.md's cross-shard protocol"
+    )
+
+    def check_project(self, project: "Project") -> Iterable[Finding]:
+        design = project.doc_text("DESIGN.md")
+        if design is None:
+            return
+        for const, value, rel, line in ledger_kinds(project):
+            if f"`{value}`" not in design:
+                yield self.finding(
+                    rel, line,
+                    f"ledger record kind {const} = {value!r} missing "
+                    "from DESIGN.md",
+                )
+
+
+@register_rule
+class StaleProgressKindRule(Rule):
+    rule_id = "R105"
+    title = "no stale progress-event constants"
+    scope = "project"
+    rationale = (
+        "a vocabulary constant the batch engine never emits documents "
+        "an event that does not exist; the constant must appear in "
+        "methods/batch.py or be removed"
+    )
+
+    def check_project(self, project: "Project") -> Iterable[Finding]:
+        batch = None
+        for rel, src in project.files.items():
+            if rel.endswith("methods/batch.py"):
+                batch = src.text
+                break
+        if batch is None:
+            return
+        for const, value, rel, line in progress_kinds(project):
+            if not _word_in(const, batch):
+                yield self.finding(
+                    rel, line,
+                    f"progress-event constant {const} ({value!r}) is "
+                    "never used by the batch engine",
+                )
+
+
+@register_rule
+class SchemaTagsDocumentedRule(Rule):
+    rule_id = "R106"
+    title = "wire-schema tags documented"
+    scope = "project"
+    rationale = (
+        "every versioned wire/artifact schema tag is a compatibility "
+        "promise; a tag absent from the docs cannot be honoured by "
+        "anyone implementing the other end"
+    )
+
+    def check_project(self, project: "Project") -> Iterable[Finding]:
+        docs = [
+            text
+            for doc in SCHEMA_DOC_SET
+            if (text := project.doc_text(doc)) is not None
+        ]
+        if not docs:
+            return
+        for rel, src in sorted(project.files.items()):
+            for node in src.tree.body:
+                if not (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and node.targets[0].id.isupper()
+                    and isinstance(node.value, ast.Constant)
+                    and isinstance(node.value.value, str)
+                    and _SCHEMA_TAG_RE.match(node.value.value)
+                ):
+                    continue
+                tag = node.value.value
+                if not any(tag in text for text in docs):
+                    yield self.finding(
+                        rel, node.lineno,
+                        f"wire-schema tag {tag!r} "
+                        f"({node.targets[0].id}) missing from the "
+                        f"documentation set {list(SCHEMA_DOC_SET)}",
+                    )

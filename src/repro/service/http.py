@@ -278,6 +278,9 @@ class ApiHandler:
                     # Padding during quiet periods doubles as the
                     # disconnect probe: writing to a closed socket is
                     # how we learn the client left.
+                    # repro: allow[W102] a complete SSE comment frame
+                    # (": ...\n\n") written in one call; no helper
+                    # output to seal
                     writer.write(b": keep-alive\n\n")
                 await writer.drain()
                 if finished and not events:

@@ -51,8 +51,8 @@ class TestReadme:
     def test_cli_names_match_entry_points(self, readme):
         pyproject = (ROOT / "pyproject.toml").read_text(encoding="utf-8")
         for tool in (
-            "repro-experiments", "repro-serve", "repro-simulate",
-            "repro-worker",
+            "repro-experiments", "repro-lint", "repro-serve",
+            "repro-simulate", "repro-worker",
         ):
             assert tool in readme
             assert tool in pyproject
@@ -81,19 +81,14 @@ class TestDesign:
 
 
 class TestProgressEventVocabulary:
-    """Every progress-event kind the engine can emit is documented."""
+    """Every progress-event kind the engine can emit is documented.
 
-    @pytest.fixture(scope="class")
-    def kinds(self) -> dict[str, str]:
-        from repro.methods import progress
-
-        found = {
-            name: value
-            for name, value in vars(progress).items()
-            if name.isupper() and isinstance(value, str)
-        }
-        assert found, "progress module defines no event-kind constants"
-        return found
+    The vocabulary cross-checks themselves (progress kinds and ledger
+    record kinds against DESIGN.md and the module docstrings, stale
+    constants against the batch engine) migrated onto ``repro-lint``'s
+    R1 rule family — one source of truth, shared by this suite, the
+    CLI, and the ``lint-gate`` CI job.
+    """
 
     @pytest.fixture(scope="class")
     def scheduler_doc(self) -> str:
@@ -101,38 +96,25 @@ class TestProgressEventVocabulary:
             encoding="utf-8"
         )
 
-    def test_every_kind_documented_in_design(self, kinds, design):
-        for name, value in kinds.items():
-            assert f"`{value}`" in design, (
-                f"progress event {name} = {value!r} missing from "
-                "DESIGN.md's vocabulary table"
-            )
+    def test_registry_docs_rules_clean(self):
+        # R101-R106: methods/executors/progress kinds/ledger kinds/
+        # schema tags documented, no stale progress constants.
+        from repro.lint import run_lint
 
-    def test_every_kind_documented_in_module_docstring(self, kinds):
-        from repro.methods import progress
-
-        docs = (progress.__doc__ or "") + (
-            progress.ProgressEvent.__doc__ or ""
+        report = run_lint([ROOT / "src"], rules=["R1"], root=ROOT)
+        assert report.clean, "\n".join(
+            f"{f.path}:{f.line}: {f.rule_id} {f.message}"
+            for f in report.findings
         )
-        for name, value in kinds.items():
-            assert f'"{value}"' in docs, (
-                f"progress event {name} = {value!r} missing from the "
-                "progress module/ProgressEvent docstrings"
-            )
 
-    def test_every_emitted_kind_is_in_the_vocabulary(self, kinds):
-        # The engine emits events only through the vocabulary
-        # constants; every constant must actually be wired into the
-        # batch engine (a stale constant would document a kind nothing
-        # emits).
-        import repro.methods.batch as batch
+    def test_lint_cli_entry_agrees(self, capsys):
+        # The same check through the CLI surface the gate job runs.
+        from repro.lint.cli import main
 
-        source = Path(batch.__file__).read_text(encoding="utf-8")
-        for name in kinds:
-            assert name in source, (
-                f"vocabulary constant {name} is never used by the "
-                "batch engine"
-            )
+        code = main(
+            [str(ROOT / "src"), "--rules", "R1", "--root", str(ROOT)]
+        )
+        assert code == 0, capsys.readouterr().out
 
     def test_scheduler_doc_exists_and_is_linked(
         self, scheduler_doc, readme, design
@@ -140,20 +122,6 @@ class TestProgressEventVocabulary:
         assert "cross-shard budget ledger" in scheduler_doc.lower()
         assert "docs/SCHEDULER.md" in readme
         assert "docs/SCHEDULER.md" in design
-
-    def test_ledger_record_kinds_documented(self, design):
-        from repro.methods import ledger
-
-        for record_kind in (
-            ledger.SHARD_HELLO, ledger.POINT_OPEN,
-            ledger.POINT_CONVERGED, ledger.BUDGET_FREED,
-            ledger.BUDGET_CLAIMED, ledger.SHARD_BARRIER,
-            ledger.SHARD_DONE,
-        ):
-            assert f"`{record_kind}`" in design, (
-                f"ledger record kind {record_kind!r} missing from "
-                "DESIGN.md"
-            )
 
     def test_fleet_recipe_in_experiments_doc(self, experiments_doc):
         assert "--budget-ledger" in experiments_doc
