@@ -588,6 +588,29 @@ def extension_chunk_configs(
     ]
 
 
+def transfer_chunk_configs(
+    config: MonteCarloConfig, grant_sizes: Sequence[Sequence[int]]
+) -> list[MonteCarloConfig]:
+    """A point's full chunk plan after ownership transfers and grants.
+
+    The ownership-transfer invariant behind elastic ledger fleets: a
+    member that adopts a departed sibling's open point rebuilds the
+    point's plan as the base adaptive plan
+    (:func:`adaptive_chunk_configs`) followed by each granted round's
+    :func:`extension_chunk_configs`, in round order. Every chunk's
+    seed is a pure function of ``(config.seed, chunk index)``, so the
+    adopter — starting from nothing but the point's base config and
+    the grant schedule replayed from the ledger — draws *exactly* the
+    chunks the departed member would have drawn, and the fold (strict
+    index order) produces the identical moments. ``grant_sizes`` is
+    one sequence of chunk sizes per grant, in grant order.
+    """
+    plan = adaptive_chunk_configs(config)
+    for sizes in grant_sizes:
+        plan.extend(extension_chunk_configs(config, len(plan), sizes))
+    return plan
+
+
 def allocate_grants(
     pool: int,
     demands: Sequence[tuple[float, int]],

@@ -32,6 +32,7 @@ def make_ledger(
     shard: tuple[int, int] | None,
     replay: bool = False,
     timeout: float | None = None,
+    ledger_opts: dict | None = None,
 ) -> BudgetLedger | None:
     """A sharded fleet's cross-shard budget ledger, or None.
 
@@ -44,6 +45,14 @@ def make_ledger(
     seconds — a shard's first fleet barrier waits out its slowest
     sibling's *entire* initial sweep, so paper-scale fleets need more
     than the default.
+
+    ``ledger_opts`` carries the elastic-membership knobs:
+    ``join`` (``--join``: take over this slot in an already-running
+    fleet), ``lease`` (``--ledger-lease``: seconds of ledger silence
+    before a blocked sibling is declared departed), ``heartbeat``
+    (``--ledger-heartbeat``: the liveness beat period, default
+    lease/4), and ``leave_after`` (``--leave-after``: voluntarily
+    depart before publishing round N — the chaos knob).
     """
     if not budget_ledger:
         return None
@@ -57,7 +66,16 @@ def make_ledger(
             "--budget-ledger needs --shard i/N: the ledger coordinates "
             "co-running shards"
         )
+    opts = ledger_opts or {}
     kwargs = {} if timeout is None else {"timeout": timeout}
+    if opts.get("join"):
+        kwargs["takeover"] = True
+    if opts.get("lease") is not None:
+        kwargs["lease"] = opts["lease"]
+    if opts.get("heartbeat") is not None:
+        kwargs["heartbeat_interval"] = opts["heartbeat"]
+    if opts.get("leave_after") is not None:
+        kwargs["leave_after"] = opts["leave_after"]
     return BudgetLedger(
         ledger_path(cache_dir, budget_ledger),
         shard=shard,

@@ -650,6 +650,7 @@ def run_fig5(
     budget_ledger: str | None = None,
     ledger_replay: bool = False,
     ledger_timeout: float | None = None,
+    ledger_opts: dict | None = None,
     **_,
 ):
     workloads = _synthesized_workloads()
@@ -670,7 +671,7 @@ def run_fig5(
         reallocate_budget=reallocate_budget,
         budget_ledger=make_ledger(
             budget_ledger, cache_dir, shard, ledger_replay,
-            ledger_timeout,
+            ledger_timeout, ledger_opts,
         ),
     )
     table = Table(
@@ -743,6 +744,7 @@ def run_fig6a(
     budget_ledger: str | None = None,
     ledger_replay: bool = False,
     ledger_timeout: float | None = None,
+    ledger_opts: dict | None = None,
     **_,
 ):
     workloads = {
@@ -767,7 +769,7 @@ def run_fig6a(
         reallocate_budget=reallocate_budget,
         budget_ledger=make_ledger(
             budget_ledger, cache_dir, shard, ledger_replay,
-            ledger_timeout,
+            ledger_timeout, ledger_opts,
         ),
     )
     table = Table(
@@ -830,6 +832,7 @@ def run_fig6b(
     budget_ledger: str | None = None,
     ledger_replay: bool = False,
     ledger_timeout: float | None = None,
+    ledger_opts: dict | None = None,
     **_,
 ):
     workloads = _synthesized_workloads()
@@ -871,6 +874,7 @@ def run_fig6b(
     pass_ledger = lambda suffix: make_ledger(
         f"{budget_ledger}.{suffix}" if budget_ledger else None,
         cache_dir, shard, ledger_replay, ledger_timeout,
+        ledger_opts,
     )
     # Zero-phase pass: the SOFR step (fed zero-phase MC component MTTFs,
     # memoized once per distinct component across every C) against the
@@ -1074,6 +1078,7 @@ def run_sec54(
     budget_ledger: str | None = None,
     ledger_replay: bool = False,
     ledger_timeout: float | None = None,
+    ledger_opts: dict | None = None,
     **_,
 ):
     workloads = _synthesized_workloads()
@@ -1120,7 +1125,7 @@ def run_sec54(
         reallocate_budget=reallocate_budget,
         budget_ledger=make_ledger(
             budget_ledger, cache_dir, shard, ledger_replay,
-            ledger_timeout,
+            ledger_timeout, ledger_opts,
         ),
     )
     table = Table(

@@ -134,6 +134,12 @@ class ProgressReporter:
             )
         elif event.kind == "prewarm":
             parts.append(f"prewarmed {event.warmed_entries} cache entries")
+        elif event.kind == "shard-departed":
+            parts.append(
+                f"shard {event.shard} departed before round {event.round}"
+            )
+        elif event.kind == "shard-adopted":
+            parts.append(f"adopting departed shard {event.shard}")
         else:
             parts.append("done")
             parts.append(f"trials={event.trials}")
@@ -331,6 +337,46 @@ def _build_parser() -> argparse.ArgumentParser:
         "more",
     )
     parser.add_argument(
+        "--join",
+        action="store_true",
+        help="join an already-running --budget-ledger fleet by taking "
+        "over this --shard slot mid-run (after its member crashed or "
+        "left): already-sealed rounds verify like a replay, then this "
+        "member goes live at the first unsealed round. Joining a "
+        "finished run is refused loudly.",
+    )
+    parser.add_argument(
+        "--leave-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help="voluntarily depart the --budget-ledger fleet before "
+        "publishing round N (0 = before the first fleet barrier), "
+        "recording a shard-depart so survivors adopt this slot's open "
+        "points — the chaos-testing knob behind the elastic-fleet "
+        "suite; exits with status 0 and no artifact",
+    )
+    parser.add_argument(
+        "--ledger-lease",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="declare a blocked --budget-ledger sibling departed after "
+        "this many seconds without any new ledger record from it, and "
+        "adopt its slot (heartbeat records keep healthy-but-slow "
+        "members alive); without a lease a lost member times out the "
+        "whole fleet",
+    )
+    parser.add_argument(
+        "--ledger-heartbeat",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="liveness heartbeat period for --budget-ledger members "
+        "(default: lease/4 when --ledger-lease is set); beats are "
+        "monotone counters, never clock values",
+    )
+    parser.add_argument(
         "--progress",
         action="store_true",
         help="stream per-point progress lines to stderr as trial "
@@ -427,6 +473,26 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
             args.reallocate_budget = True
+    for flag, value in (
+        ("--join", args.join or None),
+        ("--leave-after", args.leave_after),
+        ("--ledger-lease", args.ledger_lease),
+        ("--ledger-heartbeat", args.ledger_heartbeat),
+    ):
+        if value is not None and not args.budget_ledger:
+            print(
+                f"{flag} needs --budget-ledger RUN_ID: elastic "
+                "membership is a property of a ledger fleet",
+                file=sys.stderr,
+            )
+            return 2
+    if args.join and args.ledger_replay:
+        print(
+            "--join and --ledger-replay are mutually exclusive: one "
+            "joins a live fleet, the other reproduces a finished one",
+            file=sys.stderr,
+        )
+        return 2
 
     from ..errors import ConfigurationError
     from ..methods.executors import executor_from_cli, parse_workers
@@ -453,6 +519,12 @@ def main(argv: list[str] | None = None) -> int:
         "budget_ledger": args.budget_ledger,
         "ledger_replay": args.ledger_replay,
         "ledger_timeout": args.ledger_timeout,
+        "ledger_opts": {
+            "join": args.join,
+            "lease": args.ledger_lease,
+            "heartbeat": args.ledger_heartbeat,
+            "leave_after": args.leave_after,
+        },
     }
     if args.progress:
         run_kwargs["progress"] = ProgressReporter()
@@ -471,7 +543,20 @@ def main(argv: list[str] | None = None) -> int:
         # repro: allow[D101] console elapsed-time display only; the
         # experiment's numbers come from experiment.run alone
         started = time.perf_counter()
-        result = experiment.run(**run_kwargs)
+        from ..methods import ShardDeparted
+
+        try:
+            result = experiment.run(**run_kwargs)
+        except ShardDeparted as departed:
+            # A voluntary --leave-after departure is a clean exit: the
+            # depart record is on the ledger and a survivor (or a
+            # --join replacement) owns this slot's remaining rounds.
+            print(
+                f"[{artifact}] {departed} — departed cleanly, no "
+                "artifact written",
+                file=sys.stderr,
+            )
+            return 0
         # repro: allow[D101] second half of the same display timer
         elapsed = time.perf_counter() - started
         print(result.render())

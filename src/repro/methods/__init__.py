@@ -44,7 +44,7 @@ from .executors import (
     unregister_executor,
 )
 from .facade import Analysis, analyze
-from .ledger import BudgetLedger, LedgerState, ledger_path
+from .ledger import BudgetLedger, LedgerState, ShardDeparted, ledger_path
 from .progress import ProgressEvent
 from .results import ResultSet, merge_result_sets
 
@@ -62,6 +62,7 @@ __all__ = [
     "ProgressEvent",
     "RemoteExecutor",
     "ResultSet",
+    "ShardDeparted",
     "all_methods",
     "analyze",
     "available",

@@ -46,6 +46,7 @@ with one uniform call, replacing the bespoke per-experiment loops. It
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import (
     FIRST_COMPLETED,
     Future,
@@ -77,7 +78,7 @@ from .executors import (
     get_executor,
     resolve_workers,
 )
-from .ledger import BudgetLedger
+from .ledger import BudgetLedger, ShardDeparted
 from .progress import (
     BUDGET_CLAIMED,
     BUDGET_REALLOCATED,
@@ -87,6 +88,8 @@ from .progress import (
     METHOD_STARTED,
     POINT_DONE,
     POINT_START,
+    SHARD_ADOPTED,
+    SHARD_DEPARTED,
     ProgressCallback,
     ProgressEvent,
     relative_stderr,
@@ -541,6 +544,7 @@ class _PipelinedScheduler:
         skip_unsupported: bool,
         shard: tuple[int, int] | None,
         budget_ledger: BudgetLedger | None = None,
+        full_items: Sequence[tuple[str, SystemModel]] | None = None,
     ) -> None:
         self.method_names = method_names
         self.reference_name = reference_name
@@ -582,6 +586,14 @@ class _PipelinedScheduler:
         #: Points finalized since the last ledger publication:
         #: ``(global index, trials)`` audit records.
         self._xshard_converged: list[tuple[int, int]] = []
+        #: Elastic membership: the *unsharded* space, needed to re-run
+        #: a departed sibling's slot; adopted slots' ResultSets; the
+        #: adoption worker threads and their first error.
+        self.full_items = full_items
+        self.adopted: dict[int, "ResultSet"] = {}
+        self._adoption_threads: list[threading.Thread] = []
+        self._adoption_errors: list[BaseException] = []
+        self._adoption_lock = threading.Lock()
         self.pool = None
         self.waiting: set[Future] = set()
         self.future_meta: dict[Future, tuple] = {}
@@ -1093,6 +1105,11 @@ class _PipelinedScheduler:
         """
         ledger = self.xledger
         while True:
+            if (
+                ledger.leave_after is not None
+                and self.xshard_round >= ledger.leave_after
+            ):
+                self._leave_fleet(ledger)
             ranked = self._open_candidates()
             opens = [
                 (
@@ -1137,6 +1154,105 @@ class _PipelinedScheduler:
             # round (new budget can still be freed by their grants
             # stopping early).
 
+    # -- elastic membership ------------------------------------------------
+
+    def _fleet_label(self) -> str:
+        return f"shard {self.shard[0]}/{self.shard[1]}"
+
+    def _leave_fleet(self, ledger: BudgetLedger) -> None:
+        """Voluntary mid-run departure (``leave_after`` rounds).
+
+        Writes the ``shard-depart`` record *before* going silent so
+        survivors adopt immediately instead of waiting out a lease,
+        then aborts this member's run with :class:`ShardDeparted`.
+        """
+        number = self.xshard_round
+        ledger.depart(number, reason="leave")
+        ledger.stop_heartbeat()
+        self._emit(
+            ProgressEvent(
+                self._fleet_label(),
+                SHARD_DEPARTED,
+                shard=self.shard[0],
+                round=number,
+            )
+        )
+        raise ShardDeparted(
+            f"shard {self.shard[0]}/{self.shard[1]} left the fleet "
+            f"before round {number} (leave_after={ledger.leave_after}); "
+            "its open points pass to the recorded adopter",
+            slot=self.shard[0],
+            round_number=number,
+        )
+
+    def _on_shard_depart(self, slot: int, number: int) -> None:
+        self._emit(
+            ProgressEvent(
+                self._fleet_label(),
+                SHARD_DEPARTED,
+                shard=slot,
+                round=number,
+            )
+        )
+
+    def _adopt_slot(self, slot: int) -> None:
+        """Adopt a departed sibling's slot (ledger ``on_adopt`` hook).
+
+        Runs the vacant slot's *entire* deterministic schedule in a
+        worker thread via a nested :func:`evaluate_design_space` on a
+        takeover ledger handle: rounds the departed member already
+        sealed verify like a replay, the rest seal live, and the
+        slot's complete ResultSet lands in :attr:`adopted` — so this
+        member's output can stand in for the lost one at merge time.
+        The thread coordinates with this scheduler purely through the
+        ledger file, exactly as a separate ``--join`` process would.
+        """
+        if self.full_items is None:  # pragma: no cover - defensive
+            raise ConfigurationError(
+                "cannot adopt a departed shard without the full design "
+                "space (internal wiring error)"
+            )
+        self._emit(
+            ProgressEvent(self._fleet_label(), SHARD_ADOPTED, shard=slot)
+        )
+        handle = self.xledger.takeover_handle(slot)
+
+        def adopt() -> None:
+            try:
+                result = evaluate_design_space(
+                    self.full_items,
+                    self.method_names,
+                    reference=self.reference_name,
+                    mc_config=self.config.mc,
+                    workers=self.workers,
+                    executor=self.backend,
+                    cache=self.cache if self.cache is not None else False,
+                    skip_unsupported=self.skip_unsupported,
+                    shard=(slot, self.shard[1]),
+                    progress=self.progress,
+                    pipeline_methods=self.pipeline_methods,
+                    reallocate_budget=True,
+                    budget_ledger=handle,
+                )
+            except BaseException as error:  # noqa: BLE001 - re-raised
+                with self._adoption_lock:
+                    self._adoption_errors.append(error)
+            else:
+                with self._adoption_lock:
+                    self.adopted[slot] = result
+
+        thread = threading.Thread(
+            target=adopt, name=f"adopt-slot-{slot}", daemon=True
+        )
+        self._adoption_threads.append(thread)
+        thread.start()
+
+    def _finish_adoptions(self) -> None:
+        for thread in self._adoption_threads:
+            thread.join()
+        if self._adoption_errors:
+            raise self._adoption_errors[0]
+
     def _finalize_stragglers(self) -> bool:
         """Finalize open points no grant will ever reach."""
         finalized = False
@@ -1155,11 +1271,20 @@ class _PipelinedScheduler:
     def run(self) -> tuple[MethodComparison, ...]:
         self._prewarm()
         if self.xledger is not None:
+            self.xledger.on_depart = self._on_shard_depart
+            self.xledger.on_adopt = self._adopt_slot
             self.xledger.open_run(
                 mc_token(self.config.mc),
                 self.method_names,
                 self.reference_name,
             )
+        try:
+            return self._run_schedule()
+        finally:
+            if self.xledger is not None:
+                self.xledger.stop_heartbeat()
+
+    def _run_schedule(self) -> tuple[MethodComparison, ...]:
         with self.backend.pool(self.workers) as pool:
             self.pool = pool
             for state in self.points:
@@ -1195,6 +1320,9 @@ class _PipelinedScheduler:
                         # release any still-open points to the method
                         # stage instead of leaving them idle.
                         self._finalize_stragglers()
+        # Adoptions this member picked up must land before the result
+        # is assembled — their ResultSets ride along in `adopted`.
+        self._finish_adoptions()
         comparisons = []
         for state in self.points:
             if state.reference is None or state.pending_methods:
@@ -1327,6 +1455,7 @@ def evaluate_design_space(
         only combines ledger-coordinated shards with each other.
     """
     items = _normalize_space(space)
+    full_items = items
     if shard is not None:
         shard = validate_shard(shard)
         items = shard_select(items, shard)
@@ -1403,8 +1532,9 @@ def evaluate_design_space(
         )
         return finish_item(item, ref)
 
+    adopted: tuple[ResultSet, ...] = ()
     if pipeline_methods or reallocate_budget:
-        comparisons = _PipelinedScheduler(
+        scheduler = _PipelinedScheduler(
             items=items,
             method_names=method_names,
             reference_name=reference_name,
@@ -1419,7 +1549,13 @@ def evaluate_design_space(
             skip_unsupported=skip_unsupported,
             shard=shard,
             budget_ledger=budget_ledger,
-        ).run()
+            full_items=full_items if budget_ledger is not None else None,
+        )
+        comparisons = scheduler.run()
+        adopted = tuple(
+            scheduler.adopted[slot]
+            for slot in sorted(scheduler.adopted)
+        )
     elif not backend.shares_memory:
         references = _process_references(
             items, reference_name, reference_estimator, config, cache,
@@ -1454,4 +1590,5 @@ def evaluate_design_space(
         reference_method=reference_name,
         shard=shard,
         mc_token=token,
+        adopted=adopted,
     )

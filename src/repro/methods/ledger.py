@@ -86,11 +86,46 @@ Results produced under a ledger tag their ``mc_token`` with
 ``+xshard`` so :func:`~repro.methods.results.merge_result_sets`
 refuses to interleave ledger-coordinated shards with plain or
 ``+realloc`` (shard-local re-allocation) artifacts.
+
+Elastic membership (slots vs members)
+-------------------------------------
+
+The fleet's *geometry* — ``n`` round-robin shard slots — is fixed for
+the life of a run, but the *member* working a slot is elastic. Three
+membership record kinds (``shard-join`` / ``shard-heartbeat`` /
+``shard-depart``) track member changes; every accepted join or depart
+advances the fleet's **membership epoch** (derived from record order,
+so every reader of the same bytes sees the same epoch history).
+
+* **Heartbeats** are monotone *beat counters* (never clock values — no
+  wall-clock reading enters any ledger record) appended by a daemon
+  thread while a member is live. An observer judges liveness against
+  its *own* clock: a slot whose records stop progressing for longer
+  than the configured ``lease`` is presumed dead.
+* **Depart** records make the liveness judgment part of the ledger: a
+  survivor (or a voluntarily leaving shard — ``leave_after`` /
+  ``--leave-after``) appends one ``shard-depart`` record naming the
+  slot, the blocked round, and a deterministic *adopter*. Replay never
+  re-detects anything; it follows the recorded rounds.
+* **Adoption / join** re-runs the vacant slot's deterministic schedule
+  — prefix-preserving chunk seeds make the recomputation bit-identical
+  — verifying the rounds the departed member already sealed and
+  continuing live from the first unsealed one (``takeover=True`` /
+  ``--join``). Because the adopter seals exactly the rounds the
+  departed member would have sealed, the grant schedule (and therefore
+  every shard's merged bits) is *independent of membership changes*:
+  round allocation never consults membership, only sealed rounds.
+
+A false-positive depart (a paused-not-dead member resuming past its
+lease) is therefore safe: the zombie and the adopter append identical
+records (first occurrence wins for every reader) and produce identical
+results — liveness judgments place work, they never change numbers.
 """
 
 from __future__ import annotations
 
 import re
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -113,7 +148,30 @@ SHARD_BARRIER = "shard-barrier"
 BUDGET_CLAIMED = "budget-claimed"
 SHARD_DONE = "shard-done"
 
+#: Elastic-membership record kinds (see the module docstring): a
+#: replacement member taking over a slot, a live member's monotone
+#: beat counter, and a recorded member departure (voluntary leave or a
+#: survivor's lease-expiry judgment).
+SHARD_JOIN = "shard-join"
+SHARD_HEARTBEAT = "shard-heartbeat"
+SHARD_DEPART = "shard-depart"
+
 _RUN_ID = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+class ShardDeparted(EstimationError):
+    """A shard left its fleet mid-run (``leave_after`` / ``--leave-after``).
+
+    Raised *after* the ``shard-depart`` record is on the ledger, so the
+    surviving members (or a ``--join`` replacement) can adopt the
+    slot's open points. Carries the vacated slot and the first round
+    the departing member did not publish.
+    """
+
+    def __init__(self, message: str, slot: int, round_number: int) -> None:
+        super().__init__(message)
+        self.slot = slot
+        self.round_number = round_number
 
 
 def ledger_path(cache_dir: str | Path, run_id: str) -> Path:
@@ -186,15 +244,28 @@ class LedgerState:
         self.claims: dict[tuple[int, int, int], int] = {}
         self.done: dict[int, int] = {}
         self.duplicates = 0
+        #: Well-formed records per *writer* slot — the liveness-progress
+        #: marker lease observers watch (depart records count for their
+        #: ``by`` writer, not the slot they depart).
+        self.record_counts: dict[int, int] = {}
+        #: Latest heartbeat beat counter per slot (monotone take-max).
+        self.heartbeats: dict[int, int] = {}
+        #: Accepted join/depart events in file order — the epoch trail.
+        self.membership: list[dict] = []
 
     @classmethod
     def scan(cls, path: str | Path, shard_count: int) -> "LedgerState":
         state = cls(shard_count)
         seen_opens: set[tuple[int, int, int]] = set()
         seen_converged: set[tuple[int, int]] = set()
+        seen_membership: set[tuple[str, int, int]] = set()
         for record in scan_records(path):
             kind = record.get("kind")
             try:
+                writer = int(record.get("by", record["shard"]))
+                state.record_counts[writer] = (
+                    state.record_counts.get(writer, 0) + 1
+                )
                 if kind == SHARD_HELLO:
                     shard = int(record["shard"])
                     if shard in state.hellos:
@@ -258,6 +329,33 @@ class LedgerState:
                         state.duplicates += 1
                         continue
                     state.done[shard] = int(record["round"])
+                elif kind == SHARD_HEARTBEAT:
+                    shard = int(record["shard"])
+                    beat = int(record["beat"])
+                    state.heartbeats[shard] = max(
+                        state.heartbeats.get(shard, -1), beat
+                    )
+                elif kind in (SHARD_JOIN, SHARD_DEPART):
+                    key = (
+                        kind,
+                        int(record["shard"]),
+                        int(record["generation"]),
+                    )
+                    if key in seen_membership:
+                        state.duplicates += 1
+                        continue
+                    seen_membership.add(key)
+                    state.membership.append(
+                        {
+                            "kind": kind,
+                            "shard": int(record["shard"]),
+                            "generation": int(record["generation"]),
+                            "round": int(record.get("round", 0)),
+                            "by": int(record.get("by", record["shard"])),
+                            "adopter": record.get("adopter"),
+                            "reason": record.get("reason"),
+                        }
+                    )
                 # Unknown kinds are skipped: a newer writer may add
                 # audit records an older reader can ignore.
             except (KeyError, TypeError, ValueError):
@@ -280,6 +378,72 @@ class LedgerState:
         entry.check(shard, number)
         return True
 
+    # -- membership epochs -------------------------------------------------
+
+    def epoch(self) -> int:
+        """Current membership epoch: accepted join/depart events so far.
+
+        Epoch 0 is the co-started fleet (hellos only); every accepted
+        ``shard-join`` / ``shard-depart`` record advances it by one.
+        Derived from record order alone, so any two readers of the same
+        bytes agree exactly.
+        """
+        return len(self.membership)
+
+    def epoch_history(self) -> list[tuple[int, str, int, int]]:
+        """``(epoch, kind, slot, generation)`` per membership change."""
+        return [
+            (number + 1, event["kind"], event["shard"], event["generation"])
+            for number, event in enumerate(self.membership)
+        ]
+
+    def generation(self, slot: int) -> int:
+        """How many members have joined ``slot`` after its hello."""
+        return sum(
+            1
+            for event in self.membership
+            if event["kind"] == SHARD_JOIN and event["shard"] == slot
+        )
+
+    def departed(self, slot: int) -> bool:
+        """Whether ``slot`` is currently vacant (departed, not rejoined)."""
+        state = False
+        for event in self.membership:
+            if event["shard"] != slot:
+                continue
+            state = event["kind"] == SHARD_DEPART
+        return state
+
+    def depart_event(self, slot: int) -> dict | None:
+        """The latest accepted depart record for ``slot``, if any."""
+        found = None
+        for event in self.membership:
+            if event["shard"] == slot and event["kind"] == SHARD_DEPART:
+                found = event
+        return found
+
+    def members(self) -> dict[int, dict]:
+        """Per-slot membership snapshot: generation + departed flag.
+
+        The point-ownership map: every global point ``k`` is owned by
+        whatever member currently works slot ``k % n``; a departed
+        slot's points belong to its recorded adopter (or a ``--join``
+        replacement) until a newer join record claims the slot.
+        """
+        slots: dict[int, dict] = {
+            slot: {"generation": 0, "departed": False}
+            for slot in self.hellos
+        }
+        for event in self.membership:
+            entry = slots.setdefault(
+                event["shard"], {"generation": 0, "departed": False}
+            )
+            entry["generation"] = event["generation"]
+            entry["departed"] = event["kind"] == SHARD_DEPART
+        return slots
+
+    # -- round replay ------------------------------------------------------
+
     def allocation(
         self, number: int, unit: int
     ) -> dict[int, list[int]] | None:
@@ -294,15 +458,44 @@ class LedgerState:
         the protocol provably ended before ``number`` — a live shard
         never asks past the end, so that is a replay of a ledger that
         does not match the configuration.
+
+        Deliberately membership-blind: a departed slot's rounds are
+        still waited on — its adopter (or replacement) seals them with
+        the identical bits — so the grant schedule is a pure function
+        of the sealed rounds regardless of how membership evolved.
         """
+        grants, _blocked = self._replay(number, unit)
+        return grants
+
+    def blocking(
+        self, number: int, unit: int
+    ) -> tuple[int, list[int]] | None:
+        """Who is holding up round ``number``: ``(round, shards)`` or None.
+
+        The lease observer's (and the timeout message's) view: the
+        first incomplete round at or before ``number`` and the shards
+        whose seal of it is missing. ``None`` when the allocation is
+        ready.
+        """
+        _grants, blocked = self._replay(number, unit)
+        return blocked
+
+    def _replay(
+        self, number: int, unit: int
+    ) -> tuple[dict[int, list[int]] | None, tuple[int, list[int]] | None]:
         active = set(range(self.shard_count))
         pool = 0
         for current in range(number + 1):
+            missing = sorted(
+                shard
+                for shard in active
+                if not self.sealed(shard, current)
+            )
+            if missing:
+                return None, (current, missing)
             demands: list[tuple[float, int]] = []
             openers: set[int] = set()
             for shard in sorted(active):
-                if not self.sealed(shard, current):
-                    return None
                 entry = self.rounds[(shard, current)]
                 pool += entry.freed
                 for index, deficit, _trials in entry.opens:
@@ -310,7 +503,7 @@ class LedgerState:
                     openers.add(shard)
             grants = allocate_grants(pool, demands, unit)
             if current == number:
-                return grants
+                return grants, None
             if not grants:
                 raise EstimationError(
                     f"ledger protocol ended at round {current}, before "
@@ -366,6 +559,33 @@ class BudgetLedger:
         The timeout failure is loud: ledger coordination needs its
         shards *co-running*, and a missing sibling should never
         silently degrade the run into an uncoordinated one.
+    takeover:
+        True makes this member a *replacement* for its slot
+        (``--join``): the hello and every round the previous member
+        already sealed are verified like a replay, and the protocol
+        goes live at the first unsealed round. Joining a slot whose
+        run already finished (``shard-done`` on the ledger) is refused
+        loudly. Duplicate appends from a racing zombie member are
+        harmless — first occurrence wins, and determinism makes the
+        values identical.
+    lease:
+        Liveness patience in seconds (None disables elastic
+        membership). While blocked at a rendezvous, a member whose
+        sibling's records stop progressing for longer than ``lease``
+        (judged against the observer's own clock — no clock value
+        enters the ledger) appends a ``shard-depart`` record naming a
+        deterministic adopter, and the ``on_depart`` / ``on_adopt``
+        callbacks let the scheduler re-run the vacant slot in-process.
+    heartbeat_interval:
+        Cadence of this member's ``shard-heartbeat`` beat-counter
+        records, written by a daemon thread between ``open_run`` and
+        ``close``. Defaults to ``lease / 4`` when a lease is set.
+    leave_after:
+        Voluntarily depart the fleet instead of publishing this round
+        number (``--leave-after``): the scheduler writes the
+        ``shard-depart`` record and raises :class:`ShardDeparted`,
+        leaving the slot vacant for adoption or a ``--join``
+        replacement.
     """
 
     def __init__(
@@ -375,13 +595,35 @@ class BudgetLedger:
         replay: bool = False,
         poll_interval: float = 0.05,
         timeout: float = 600.0,
+        takeover: bool = False,
+        lease: float | None = None,
+        heartbeat_interval: float | None = None,
+        leave_after: int | None = None,
     ) -> None:
         self.path = Path(path)
         self.shard = validate_shard(shard)
         self.replay = replay
         self.poll_interval = poll_interval
         self.timeout = timeout
+        self.takeover = takeover
+        self.lease = lease
+        if heartbeat_interval is None and lease is not None:
+            heartbeat_interval = max(lease / 4.0, 0.02)
+        self.heartbeat_interval = heartbeat_interval
+        self.leave_after = leave_after
+        #: Scheduler hooks for elastic membership: ``on_depart(slot,
+        #: round)`` observes a recorded departure; ``on_adopt(slot)``
+        #: asks the owner to re-run the vacant slot's schedule.
+        self.on_depart = None
+        self.on_adopt = None
         self._hello: dict | None = None
+        self._beat_thread: threading.Thread | None = None
+        self._beat_stop: threading.Event | None = None
+        #: Liveness bookkeeping: slot -> (progress marker, local time
+        #: the marker last changed); adoption/escalation state.
+        self._progress: dict[int, tuple[tuple, float]] = {}
+        self._adoptions: set[tuple[int, int]] = set()
+        self._escalations: dict[tuple[int, int], float] = {}
 
     @property
     def index(self) -> int:
@@ -414,6 +656,179 @@ class BudgetLedger:
                         "sweep configuration"
                     )
 
+    # -- elastic membership ------------------------------------------------
+
+    def takeover_handle(self, slot: int) -> "BudgetLedger":
+        """A replacement member's handle for adopting vacant ``slot``.
+
+        The adopting scheduler (or a ``--join`` process) runs the
+        slot's whole deterministic schedule through this handle:
+        rounds the departed member already sealed verify like a
+        replay; the first unsealed round goes live.
+        """
+        return BudgetLedger(
+            self.path,
+            (slot, self.count),
+            replay=False,
+            poll_interval=self.poll_interval,
+            timeout=self.timeout,
+            takeover=True,
+            lease=self.lease,
+            heartbeat_interval=self.heartbeat_interval,
+        )
+
+    def _start_heartbeat(self) -> None:
+        if (
+            self.replay
+            or self.heartbeat_interval is None
+            or self._beat_thread is not None
+        ):
+            return
+        self._beat_stop = threading.Event()
+
+        def beat_loop() -> None:
+            beat = 0
+            while True:
+                try:
+                    append_record(
+                        self.path,
+                        self._record(SHARD_HEARTBEAT, beat=beat),
+                    )
+                except OSError:  # pragma: no cover - liveness only
+                    pass  # next beat retries; correctness unaffected
+                beat += 1
+                if self._beat_stop.wait(self.heartbeat_interval):
+                    return
+
+        self._beat_thread = threading.Thread(
+            target=beat_loop,
+            name=f"ledger-heartbeat-{self.index}",
+            daemon=True,
+        )
+        self._beat_thread.start()
+
+    def stop_heartbeat(self) -> None:
+        """Stop the heartbeat thread (idempotent; called on any exit)."""
+        if self._beat_stop is not None:
+            self._beat_stop.set()
+        if self._beat_thread is not None:
+            self._beat_thread.join(timeout=5.0)
+            self._beat_thread = None
+
+    def depart(
+        self,
+        number: int,
+        target: int | None = None,
+        reason: str = "leave",
+        adopter: int | None = None,
+    ) -> None:
+        """Append a ``shard-depart`` membership record (idempotent).
+
+        ``target`` defaults to this member's own slot (a voluntary
+        leave); a survivor passes the presumed-dead sibling's slot.
+        ``number`` is the first round the departing member will not
+        seal. The record's ``generation`` pins it to the slot's
+        current member, so a later rejoin is never retro-departed by a
+        stale record (duplicate generations are first-wins rejected).
+        """
+        if self.replay:
+            return
+        state = self._scan()
+        slot = self.index if target is None else target
+        if state.departed(slot):
+            return
+        append_record(
+            self.path,
+            {
+                "kind": SHARD_DEPART,
+                "shard": slot,
+                "by": self.index,
+                "round": number,
+                "generation": state.generation(slot),
+                "adopter": adopter,
+                "reason": reason,
+            },
+        )
+
+    def _lease_check(self, state: LedgerState, number: int, unit: int) -> None:
+        """One liveness pass while blocked at a rendezvous.
+
+        Updates per-slot progress markers (record counts + heartbeat
+        beats + join generation), departs siblings whose lease
+        expired, and triggers adoption of vacant blocking slots. The
+        adopter named in the depart record adopts immediately; every
+        other observer escalates — adopts anyway — if the round stays
+        blocked a full extra lease, so a dead adopter cannot strand
+        the fleet. Over-adoption is safe (identical bits, first-wins
+        records); under-adoption is the only failure mode.
+        """
+        # repro: allow[D101] liveness judgment only: observers compare
+        # their own clock against ledger progress; no clock value is
+        # written to the ledger or reaches any number downstream
+        now = time.monotonic()
+        for slot in range(self.count):
+            marker = (
+                state.record_counts.get(slot, 0),
+                state.heartbeats.get(slot, -1),
+                state.generation(slot),
+            )
+            previous = self._progress.get(slot)
+            if previous is None or previous[0] != marker:
+                self._progress[slot] = (marker, now)
+        blocked = state.blocking(number, unit)
+        if blocked is None:
+            return
+        round_blocked, missing = blocked
+        fresh = {self.index}
+        for slot in range(self.count):
+            seen_at = self._progress[slot][1]
+            if now - seen_at < self.lease and not state.departed(slot):
+                fresh.add(slot)
+        for slot in missing:
+            if slot == self.index:
+                continue
+            if not state.departed(slot):
+                if now - self._progress[slot][1] < self.lease:
+                    continue
+                candidates = sorted(fresh - {slot})
+                adopter = candidates[0] if candidates else self.index
+                self.depart(
+                    round_blocked,
+                    target=slot,
+                    reason="lease-expired",
+                    adopter=adopter,
+                )
+                state = self._scan()
+                if self.on_depart is not None:
+                    self.on_depart(slot, round_blocked)
+            event = state.depart_event(slot)
+            if event is None:
+                continue
+            key = (slot, state.generation(slot))
+            if key in self._adoptions:
+                continue
+            adopter = event.get("adopter")
+            if adopter is None:
+                # Voluntary leaves name no adopter: the lowest fresh
+                # survivor is the canonical choice every observer
+                # derives identically.
+                candidates = sorted(fresh - {slot})
+                adopter = candidates[0] if candidates else self.index
+            if adopter == self.index:
+                self._adoptions.add(key)
+                if self.on_adopt is not None:
+                    self.on_adopt(slot)
+                continue
+            # Somebody else was assigned; give them one lease, then
+            # adopt anyway rather than strand the round.
+            deadline = self._escalations.setdefault(
+                key, now + self.lease
+            )
+            if now >= deadline:
+                self._adoptions.add(key)
+                if self.on_adopt is not None:
+                    self.on_adopt(slot)
+
     # -- protocol ----------------------------------------------------------
 
     def open_run(
@@ -444,16 +859,77 @@ class BudgetLedger:
                     )
             self._check_hellos(state)
             return
+        if self.takeover:
+            self._open_takeover(state, recorded)
+            self._start_heartbeat()
+            return
         if recorded is not None:
             raise ConfigurationError(
                 f"ledger {self.path} already has records for shard "
                 f"{self.index}/{self.count}; each live fleet run needs a "
                 "fresh run id (replaying a finished ledger is "
-                "replay=True / --ledger-replay)"
+                "replay=True / --ledger-replay; taking over a departed "
+                "member's slot mid-run is takeover=True / --join)"
             )
         self._check_hellos(state)
         append_record(
             self.path, self._record(SHARD_HELLO, **self._hello)
+        )
+        self._start_heartbeat()
+
+    def _open_takeover(
+        self, state: LedgerState, recorded: dict | None
+    ) -> None:
+        """Join a running fleet by taking over this handle's slot.
+
+        A finished run is refused loudly (nothing left to join); an
+        in-flight run gets a ``shard-join`` membership record and the
+        new member replays the slot's already-sealed rounds before
+        going live at the first unsealed one.
+        """
+        if self.index in state.done or (
+            state.hellos and len(state.done) >= len(state.hellos)
+        ):
+            done_round = state.done.get(self.index)
+            detail = (
+                f"slot {self.index} closed at round {done_round}"
+                if done_round is not None
+                else f"all {len(state.done)} member(s) closed"
+            )
+            raise ConfigurationError(
+                f"ledger {self.path} records a finished run ({detail}); "
+                f"refusing to join shard {self.index}/{self.count} — a "
+                "finished ledger is reproduced with --ledger-replay, "
+                "not joined"
+            )
+        if recorded is None:
+            # The slot never said hello (its member died before its
+            # first record, or never launched): the joiner co-starts
+            # it fresh. No membership record — epoch 0 covers it.
+            self._check_hellos(state)
+            append_record(
+                self.path, self._record(SHARD_HELLO, **self._hello)
+            )
+            return
+        for key, value in self._hello.items():
+            if recorded.get(key) != value:
+                raise ConfigurationError(
+                    f"ledger {self.path} slot {self.index} was launched "
+                    f"with a different configuration ({key}: "
+                    f"{recorded.get(key)!r} vs {value!r}); a joining "
+                    "member must share the exact sweep configuration"
+                )
+        self._check_hellos(state)
+        sealed_rounds = 0
+        while state.sealed(self.index, sealed_rounds):
+            sealed_rounds += 1
+        append_record(
+            self.path,
+            self._record(
+                SHARD_JOIN,
+                generation=state.generation(self.index) + 1,
+                round=sealed_rounds,
+            ),
         )
 
     def publish_round(
@@ -478,22 +954,19 @@ class BudgetLedger:
                     f"for shard {self.index}; the live run ended (or "
                     "crashed) earlier — cannot replay past it"
                 )
-            entry = state.rounds[(self.index, number)]
-            recorded_opens = sorted(
-                (index, deficit) for index, deficit, _t in entry.opens
-            )
-            computed_opens = sorted(
-                (index, deficit) for index, deficit, _t in opens
-            )
-            if entry.freed != freed or recorded_opens != computed_opens:
-                raise EstimationError(
-                    f"replay diverged from ledger {self.path} at shard "
-                    f"{self.index} round {number}: recorded "
-                    f"(freed={entry.freed}, opens={recorded_opens}) vs "
-                    f"recomputed (freed={freed}, opens={computed_opens})"
-                    " — the configuration does not match the recording"
-                )
+            self._verify_round(state, number, freed, opens)
             return
+        if self.takeover:
+            state = self._scan()
+            if state.sealed(self.index, number):
+                # Predecessor sealed this round: verify instead of
+                # re-publishing, exactly like a replay.
+                self._verify_round(state, number, freed, opens)
+                return
+            # First unsealed round: go live. The predecessor may have
+            # written part of this block before dying; re-appending is
+            # safe because first-occurrence-wins dedup keeps its
+            # records and determinism makes ours identical anyway.
         for index, trials in converged:
             append_record(
                 self.path,
@@ -526,6 +999,30 @@ class BudgetLedger:
             ),
         )
 
+    def _verify_round(
+        self,
+        state: LedgerState,
+        number: int,
+        freed: int,
+        opens: Sequence[tuple[int, float, int]],
+    ) -> None:
+        """Check a recomputed round block against its sealed recording."""
+        entry = state.rounds[(self.index, number)]
+        recorded_opens = sorted(
+            (index, deficit) for index, deficit, _t in entry.opens
+        )
+        computed_opens = sorted(
+            (index, deficit) for index, deficit, _t in opens
+        )
+        if entry.freed != freed or recorded_opens != computed_opens:
+            raise EstimationError(
+                f"replay diverged from ledger {self.path} at shard "
+                f"{self.index} round {number}: recorded "
+                f"(freed={entry.freed}, opens={recorded_opens}) vs "
+                f"recomputed (freed={freed}, opens={computed_opens})"
+                " — the configuration does not match the recording"
+            )
+
     def rendezvous(self, number: int, unit: int) -> dict[int, list[int]]:
         """Round ``number``'s fleet-wide grants (waiting live, not replaying).
 
@@ -556,16 +1053,29 @@ class BudgetLedger:
             grants = state.allocation(number, unit)
             if grants is not None:
                 return grants
+            if self.lease is not None:
+                self._lease_check(state, number, unit)
             # repro: allow[D101] same liveness deadline as above; the
             # rendezvous outcome depends only on ledger contents
             if time.monotonic() >= deadline:
+                blocked = state.blocking(number, unit)
+                if blocked is None:
+                    who = "the fleet"  # pragma: no cover - raced a seal
+                else:
+                    blocked_round, missing = blocked
+                    who = (
+                        f"shard(s) {', '.join(map(str, missing))} to seal "
+                        f"round {blocked_round}"
+                    )
                 raise EstimationError(
                     f"ledger rendezvous timed out after {self.timeout}s "
-                    f"waiting for round {number} of {self.path}; budget-"
+                    f"waiting for {who} (round {number} of {self.path}, "
+                    f"membership epoch {state.epoch()}); budget-"
                     "ledger coordination needs every shard of the fleet "
                     "co-running against the same ledger file (a slower "
                     "fleet needs a larger timeout: BudgetLedger(..., "
-                    "timeout=...) / --ledger-timeout)"
+                    "timeout=...) / --ledger-timeout; a fleet that should "
+                    "survive member loss needs a lease: --ledger-lease)"
                 )
             # repro: allow[D101] poll pacing; sleeping changes when the
             # ledger is re-scanned, never what the scan computes
@@ -605,6 +1115,7 @@ class BudgetLedger:
         self, number: int, converged: Sequence[tuple[int, int]] = ()
     ) -> None:
         """Leave the fleet after round ``number`` (audit records only)."""
+        self.stop_heartbeat()
         if self.replay:
             return
         for index, trials in converged:

@@ -46,6 +46,16 @@ the same table):
 ``"prewarm"``
     The one-shot disk-cache prewarm a sharded sweep performs before
     scheduling any work. Run-level label; carries ``warmed_entries``.
+``"shard-departed"``
+    A ledger-fleet member left mid-run — voluntarily (``--leave-after``)
+    or declared dead by lease expiry — and its slot's open points await
+    adoption. Run-level label; carries ``shard`` (the vacant slot) and
+    ``round`` (the first round the departed member will not seal).
+``"shard-adopted"``
+    This member adopted a vacant slot: it re-runs the departed
+    member's deterministic schedule (verifying sealed rounds, sealing
+    the rest) so the fleet's merged bits match the static-fleet run.
+    Run-level label; carries ``shard`` (the adopted slot).
 
 Ordering guarantees
 -------------------
@@ -90,6 +100,11 @@ CACHE_PREWARMED = "prewarm"
 #: claimed for this point through the shared ledger file.
 BUDGET_CLAIMED = "budget-claimed"
 
+#: Elastic-membership events: a fleet member departed mid-run (crash,
+#: lease expiry, or --leave-after) and a survivor adopted its slot.
+SHARD_DEPARTED = "shard-departed"
+SHARD_ADOPTED = "shard-adopted"
+
 
 @dataclass(frozen=True)
 class ProgressEvent:
@@ -109,8 +124,11 @@ class ProgressEvent:
         estimate entered / left the pool),
         ``"budget-reallocated"`` (shard-local freed budget granted to
         this point), ``"budget-claimed"`` (cross-shard ledger budget
-        granted to this point), or ``"prewarm"`` (shard-aware
-        disk-cache prewarm completed before scheduling).
+        granted to this point), ``"prewarm"`` (shard-aware
+        disk-cache prewarm completed before scheduling),
+        ``"shard-departed"`` (a fleet member left mid-run and its
+        slot awaits adoption), or ``"shard-adopted"`` (this member
+        adopted a vacant slot's schedule).
     merged_chunks / total_chunks:
         Streaming position within the point's chunk plan. ``0/0`` for
         unchunked or non-stochastic references. ``merged_chunks`` is
@@ -137,6 +155,10 @@ class ProgressEvent:
     warmed_entries:
         On ``prewarm``: disk entries pulled into the in-memory cache
         before any work was scheduled.
+    shard / round:
+        On ``shard-departed`` / ``shard-adopted``: the fleet slot that
+        changed hands and (departed only) the first round its old
+        member will not seal.
     """
 
     label: str
@@ -151,6 +173,8 @@ class ProgressEvent:
     granted_trials: int = 0
     granted_chunks: int = 0
     warmed_entries: int = 0
+    shard: int | None = None
+    round: int | None = None
 
     def to_dict(self) -> dict:
         """Compact plain-dict wire form — the analysis service's SSE payload.
@@ -175,6 +199,8 @@ class ProgressEvent:
             ("granted_trials", 0),
             ("granted_chunks", 0),
             ("warmed_entries", 0),
+            ("shard", None),
+            ("round", None),
         ):
             value = getattr(self, name)
             if value != default:
@@ -195,7 +221,7 @@ class ProgressEvent:
         allowed = {
             "merged_chunks", "total_chunks", "trials", "rel_stderr",
             "stopped_early", "cached", "method", "granted_trials",
-            "granted_chunks", "warmed_entries",
+            "granted_chunks", "warmed_entries", "shard", "round",
         }
         unknown = set(payload) - allowed
         if unknown:

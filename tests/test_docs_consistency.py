@@ -166,6 +166,8 @@ class TestProgressEventWire:
             granted_trials=4_000,
             granted_chunks=2,
             warmed_entries=17,
+            shard=2,
+            round=1,
         )
 
     def test_wire_keys_equal_dataclass_fields(

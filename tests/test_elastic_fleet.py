@@ -1,0 +1,301 @@
+"""Elastic ledger fleets: chaos schedules, adoption, join/leave (PR-10).
+
+The acceptance bar for every injected schedule — voluntary leave,
+SIGKILL mid-round, SIGKILL at a round boundary, pause-past-lease,
+late join, join-after-finish — is the one ``docs/SCHEDULER.md`` sets:
+the merged fleet output is byte-identical to the sequential
+``--ledger-replay`` reproduction (and to the unsharded re-allocating
+run), and the budget audit shows claimed <= freed.
+"""
+
+import threading
+
+import pytest
+
+import chaos
+from repro.errors import ConfigurationError, EstimationError
+from repro.methods import (
+    BudgetLedger,
+    LedgerState,
+    ShardDeparted,
+    merge_result_sets,
+)
+
+pytestmark = pytest.mark.filterwarnings("ignore::pytest.PytestUnraisableExceptionWarning")
+
+LEASE = 0.5
+
+
+def assert_fleet_matches_oracles(results, ledger_file, count):
+    """The chaos acceptance bar, shared by every schedule."""
+    merged = merge_result_sets([r for r in results if r is not None])
+    replayed = chaos.sequential_replay(ledger_file, count)
+    assert merged == replayed, "fleet merge != sequential ledger replay"
+    solo = chaos.unsharded_run()
+    assert [c.reference for c in merged.comparisons] == [
+        c.reference for c in solo.comparisons
+    ], "fleet reference estimates != unsharded run"
+    totals = LedgerState.scan(ledger_file, count).totals()
+    assert totals["claimed_trials"] <= totals["freed_trials"]
+    return merged
+
+
+def run_thread_fleet(ledger_file, count, faults=None):
+    """An in-process fleet: one thread per member, real ledger file."""
+    faults = faults or {}
+    results = [None] * count
+    errors = [None] * count
+
+    def member(slot):
+        try:
+            results[slot] = chaos.run_member_inline(
+                ledger_file,
+                slot,
+                count,
+                lease=LEASE,
+                **faults.get(slot, {}),
+            )
+        except ShardDeparted:
+            pass
+        except Exception as error:  # pragma: no cover - surfaced below
+            errors[slot] = error
+
+    threads = [
+        threading.Thread(target=member, args=(slot,))
+        for slot in range(count)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert all(error is None for error in errors), errors
+    return results
+
+
+class TestVoluntaryLeave:
+    def test_leave_before_first_barrier_is_adopted(self, tmp_path):
+        ledger_file = tmp_path / "leave.ledger"
+        results = run_thread_fleet(
+            ledger_file, 3, faults={2: {"leave_after": 0}}
+        )
+        assert results[2] is None  # the leaver produced no artifact
+        adopted = [
+            s.shard[0] for r in results if r is not None
+            for s in r.adopted
+        ]
+        assert adopted == [2]
+        merged = assert_fleet_matches_oracles(results, ledger_file, 3)
+        state = LedgerState.scan(ledger_file, 3)
+        history = state.epoch_history()
+        assert history[0] == (1, "shard-depart", 2, 0)
+        assert ("shard-join", 2) in {
+            (kind, slot) for _e, kind, slot, _g in history
+        }
+        assert state.epoch() == len(history) >= 2
+        assert merged.labels == [f"C={c}" for c in chaos.CLUSTER_COUNTS]
+
+    def test_leave_mid_protocol(self, tmp_path):
+        # Slot 0 owns the straggler (global point 0), so it survives
+        # past round 0; make it leave before round 1 instead.
+        ledger_file = tmp_path / "leave-mid.ledger"
+        results = run_thread_fleet(
+            ledger_file, 2, faults={0: {"leave_after": 1}}
+        )
+        assert results[0] is None
+        assert [s.shard[0] for s in results[1].adopted] == [0]
+        assert_fleet_matches_oracles(results, ledger_file, 2)
+
+
+class TestCrashSchedules:
+    def test_sigkill_mid_round_torn_block_is_completed(self, tmp_path):
+        # Member 1 SIGKILLs itself halfway through publishing round 0:
+        # opens on the file, no sealing barrier. The adopter must
+        # complete the torn block (dedup keeps the dead member's
+        # records; determinism makes the completion identical).
+        ledger_file = tmp_path / "torn.ledger"
+        members = [
+            chaos.launch_member(
+                ledger_file,
+                slot,
+                3,
+                tmp_path,
+                extra=(
+                    ["--torn-round", "0"]
+                    if slot == 1
+                    else ["--lease", str(LEASE)]
+                ),
+            )
+            for slot in range(3)
+        ]
+        results, codes = chaos.collect_fleet(members)
+        assert codes[1] == -9  # SIGKILL
+        assert codes[0] == 0 and codes[2] == 0
+        assert results[1] is None
+        adopted = [
+            s.shard[0] for r in results if r is not None
+            for s in r.adopted
+        ]
+        assert adopted == [1]
+        assert_fleet_matches_oracles(results, ledger_file, 3)
+
+    def test_sigkill_at_round_boundary(self, tmp_path):
+        # Member 0 — the straggler's owner — dies right after sealing
+        # round 0; its open straggler point transfers wholesale.
+        ledger_file = tmp_path / "boundary.ledger"
+        members = [
+            chaos.launch_member(
+                ledger_file,
+                slot,
+                2,
+                tmp_path,
+                extra=(
+                    ["--die-after", "0"]
+                    if slot == 0
+                    else ["--lease", str(LEASE)]
+                ),
+            )
+            for slot in range(2)
+        ]
+        results, codes = chaos.collect_fleet(members)
+        assert codes[0] == -9 and codes[1] == 0
+        assert [s.shard[0] for s in results[1].adopted] == [0]
+        assert_fleet_matches_oracles(results, ledger_file, 2)
+
+
+class TestPausePastLease:
+    def test_zombie_resumes_with_identical_bits(self, tmp_path):
+        # Member 0 freezes (heartbeat stopped) past the lease before
+        # publishing round 1; a survivor departs + adopts it. The
+        # zombie then resumes, republishes identical records (dedup
+        # absorbs them), and writes its own artifact — so slot 0
+        # appears twice, byte-identical, and merge tolerates it.
+        ledger_file = tmp_path / "zombie.ledger"
+        members = [
+            chaos.launch_member(
+                ledger_file,
+                slot,
+                2,
+                tmp_path,
+                extra=(
+                    ["--pause-at", "1", "--pause-for", str(6 * LEASE),
+                     "--lease", str(LEASE)]
+                    if slot == 0
+                    else ["--lease", str(LEASE)]
+                ),
+            )
+            for slot in range(2)
+        ]
+        results, codes = chaos.collect_fleet(members)
+        assert codes == [0, 0]
+        assert results[0] is not None and results[1] is not None
+        state = LedgerState.scan(ledger_file, 2)
+        assert state.depart_event(0) is not None
+        assert state.depart_event(0)["reason"] == "lease-expired"
+        adopted = [s.shard[0] for s in results[1].adopted]
+        assert adopted == [0]
+        # Zombie's own slot-0 set == the adopter's slot-0 set, bit for
+        # bit — the false-positive-departure safety property.
+        assert results[0].comparisons == (
+            results[1].adopted[0].comparisons
+        )
+        assert_fleet_matches_oracles(results, ledger_file, 2)
+
+
+class TestJoin:
+    def test_join_replaces_never_started_member(self, tmp_path):
+        # A 3-slot fleet launches with slot 2 missing entirely. The
+        # survivors depart it after the lease; a replacement then
+        # joins mid-run. Adopter and joiner may both produce slot 2 —
+        # identical bits either way.
+        ledger_file = tmp_path / "join.ledger"
+        members = [
+            chaos.launch_member(
+                ledger_file, slot, 3, tmp_path,
+                extra=["--lease", str(LEASE)],
+            )
+            for slot in range(2)
+        ]
+        chaos.wait_for_depart(ledger_file, 2, 3)
+        joiner = chaos.launch_member(
+            ledger_file, 2, 3, tmp_path,
+            extra=["--join", "--lease", str(LEASE)],
+        )
+        results, codes = chaos.collect_fleet([*members, joiner])
+        assert codes[:2] == [0, 0]
+        # The joiner races the survivors' in-process adopter: either
+        # it joined live (artifact written) or the adopter finished
+        # the whole run first and the join was refused loudly — both
+        # are documented outcomes, and the survivors' adopted points
+        # cover slot 2 either way.
+        if codes[2] == 0:
+            assert results[2] is not None  # the joiner wrote slot 2
+        else:
+            assert codes[2] == chaos.JOIN_REFUSED
+            assert results[2] is None
+        assert_fleet_matches_oracles(results, ledger_file, 3)
+
+    def test_join_finished_run_is_refused_loudly(self, tmp_path):
+        ledger_file = tmp_path / "finished.ledger"
+        results = run_thread_fleet(ledger_file, 2)
+        assert all(r is not None for r in results)
+        with pytest.raises(ConfigurationError, match="finished"):
+            chaos.run_member_inline(ledger_file, 1, 2, join=True)
+        # ... and the right spelling is a replay, which still works.
+        assert_fleet_matches_oracles(results, ledger_file, 2)
+
+    def test_join_config_mismatch_is_refused(self, tmp_path):
+        ledger_file = tmp_path / "mismatch.ledger"
+        handle = BudgetLedger(ledger_file, shard=(0, 2))
+        handle.open_run("token-a", ["first_principles"], "monte_carlo")
+        taker = BudgetLedger(ledger_file, shard=(0, 2), takeover=True)
+        with pytest.raises(ConfigurationError, match="configuration"):
+            taker.open_run(
+                "token-b", ["first_principles"], "monte_carlo"
+            )
+
+
+class TestLonelinessRegression:
+    def test_timeout_names_missing_shards_and_epoch(self, tmp_path):
+        # Regression: the lone-shard timeout must say *who* is missing
+        # and the membership epoch it last saw, not just that time ran
+        # out — and keep the "co-running" phrasing the PR-5 tests and
+        # docs grep for.
+        ledger_file = tmp_path / "lonely.ledger"
+        with pytest.raises(EstimationError) as excinfo:
+            chaos.run_member_inline(
+                ledger_file, 0, 3, timeout=0.4
+            )
+        message = str(excinfo.value)
+        assert "shard(s) 1, 2" in message
+        assert "round 0" in message
+        assert "epoch 0" in message
+        assert "co-running" in message
+
+    def test_timeout_message_reflects_membership_epoch(self, tmp_path):
+        ledger_file = tmp_path / "lonely-epoch.ledger"
+        # A recorded depart record moves the epoch the timeout
+        # reports (no hello needed: membership records stand alone).
+        BudgetLedger(ledger_file, shard=(1, 2)).depart(
+            0, reason="leave"
+        )
+        with pytest.raises(EstimationError, match="epoch 1"):
+            chaos.run_member_inline(ledger_file, 0, 2, timeout=0.4)
+
+
+class TestResultSetAdoption:
+    def test_adopted_sets_round_trip_through_json(self, tmp_path):
+        ledger_file = tmp_path / "roundtrip.ledger"
+        results = run_thread_fleet(
+            ledger_file, 2, faults={0: {"leave_after": 1}}
+        )
+        survivor = results[1]
+        assert survivor.adopted
+        path = tmp_path / "survivor.json"
+        survivor.to_json(path)
+        from repro.methods import ResultSet
+
+        loaded = ResultSet.from_json(path)
+        assert loaded == survivor
+        assert merge_result_sets([loaded]) == merge_result_sets(
+            [survivor]
+        )

@@ -1,0 +1,393 @@
+"""Property tests for the elastic-membership state machine (PR-10).
+
+The membership layer's central determinism claim
+(``docs/SCHEDULER.md``): every derived membership fact — the member
+snapshot, per-slot generations, vacancy, heartbeat high-water marks,
+the epoch count — is a pure function of the *per-slot* record order,
+so any interleaving of the slots' appends that a real racing fleet
+could produce yields the same answers for every reader. These tests
+drive :meth:`LedgerState.scan` with Hypothesis-drawn interleavings and
+fault shapes instead of real fleets:
+
+* arbitrary per-slot-order-preserving interleavings of join / depart /
+  heartbeat / claim records produce identical membership snapshots and
+  point-ownership maps;
+* a torn membership tail (writer killed mid-append) is ignored exactly
+  like a torn claim record — the scan equals the scan of the untorn
+  prefix;
+* duplicated membership records are first-occurrence-wins no-ops, just
+  like duplicated round records;
+* round allocation is membership-blind: splicing membership records
+  anywhere into a *real* completed ledger changes no round's grants.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import chaos
+from repro.methods import LedgerState
+from repro.methods.cache import append_record
+
+# -- synthetic record builders --------------------------------------------
+
+
+def join_record(slot, generation, round_number):
+    return {
+        "kind": "shard-join",
+        "shard": slot,
+        "generation": generation,
+        "round": round_number,
+    }
+
+
+def depart_record(slot, generation, round_number, by, adopter, reason):
+    return {
+        "kind": "shard-depart",
+        "shard": slot,
+        "by": by,
+        "round": round_number,
+        "generation": generation,
+        "adopter": adopter,
+        "reason": reason,
+    }
+
+
+def heartbeat_record(slot, beat):
+    return {"kind": "shard-heartbeat", "shard": slot, "beat": beat}
+
+
+def claim_record(slot, round_number, index, trials):
+    return {
+        "kind": "budget-claimed",
+        "shard": slot,
+        "round": round_number,
+        "index": index,
+        "trials": trials,
+    }
+
+
+@st.composite
+def fleet_scripts(draw):
+    """Per-slot legal membership scripts plus loose heartbeats/claims.
+
+    Each slot's membership trace alternates depart(gen g) /
+    join(gen g+1) — exactly the sequence a real slot's lease expiries
+    and ``--join`` replacements produce. Heartbeats and claims are
+    free-floating: take-max and unique keys make them order-blind.
+    """
+    count = draw(st.integers(min_value=2, max_value=4))
+    queues = []
+    for slot in range(count):
+        events = []
+        generation = 0
+        for _ in range(draw(st.integers(min_value=0, max_value=3))):
+            if not events or events[-1]["kind"] == "shard-join":
+                events.append(
+                    depart_record(
+                        slot,
+                        generation,
+                        draw(st.integers(min_value=0, max_value=5)),
+                        draw(st.integers(min_value=0, max_value=count - 1)),
+                        draw(
+                            st.one_of(
+                                st.none(),
+                                st.integers(min_value=0, max_value=count - 1),
+                            )
+                        ),
+                        draw(st.sampled_from(["leave", "lease-expired"])),
+                    )
+                )
+            else:
+                generation += 1
+                events.append(
+                    join_record(
+                        slot,
+                        generation,
+                        draw(st.integers(min_value=0, max_value=5)),
+                    )
+                )
+        if events:
+            queues.append(events)
+    for slot_beats in draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=count - 1),
+                st.integers(min_value=0, max_value=40),
+            ),
+            max_size=5,
+        )
+    ):
+        queues.append([heartbeat_record(*slot_beats)])
+    claim_keys = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=count - 1),
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=0, max_value=6),
+            ),
+            unique=True,
+            max_size=5,
+        )
+    )
+    for slot, round_number, index in claim_keys:
+        queues.append(
+            [
+                claim_record(
+                    slot,
+                    round_number,
+                    index,
+                    draw(st.integers(min_value=1, max_value=4000)),
+                )
+            ]
+        )
+    return count, queues
+
+
+def draw_interleaving(draw, queues):
+    """One per-queue-order-preserving merge of ``queues``."""
+    tags = [
+        number for number, queue in enumerate(queues) for _ in queue
+    ]
+    order = draw(st.permutations(tags))
+    cursors = [0] * len(queues)
+    merged = []
+    for tag in order:
+        merged.append(queues[tag][cursors[tag]])
+        cursors[tag] += 1
+    return merged
+
+
+@st.composite
+def two_interleavings(draw):
+    count, queues = draw(fleet_scripts())
+    return (
+        count,
+        draw_interleaving(draw, queues),
+        draw_interleaving(draw, queues),
+    )
+
+
+def write_ledger(path, records):
+    for record in records:
+        append_record(path, record)
+
+
+def membership_snapshot(state, count):
+    """Every membership-derived fact a reader can act on."""
+    history = state.epoch_history()
+    return {
+        "members": state.members(),
+        "generation": [state.generation(s) for s in range(count)],
+        "departed": [state.departed(s) for s in range(count)],
+        "depart_events": [state.depart_event(s) for s in range(count)],
+        "heartbeats": state.heartbeats,
+        "epoch": state.epoch(),
+        # Absolute epoch numbers are file-order (two interleavings
+        # legitimately number the same events differently); the
+        # per-slot *event sequence* is the invariant.
+        "per_slot_history": {
+            slot: [
+                (kind, generation)
+                for _epoch, kind, event_slot, generation in history
+                if event_slot == slot
+            ]
+            for slot in range(count)
+        },
+        "claims": state.claims,
+        "record_counts": state.record_counts,
+    }
+
+
+class TestInterleavingInvariance:
+    @settings(max_examples=60, deadline=None)
+    @given(case=two_interleavings())
+    def test_any_interleaving_same_membership_and_ownership(
+        self, case, tmp_path_factory
+    ):
+        count, first, second = case
+        base = tmp_path_factory.mktemp("interleave")
+        path_a, path_b = base / "a.ledger", base / "b.ledger"
+        write_ledger(path_a, first)
+        write_ledger(path_b, second)
+        state_a = LedgerState.scan(path_a, count)
+        state_b = LedgerState.scan(path_b, count)
+        assert membership_snapshot(state_a, count) == (
+            membership_snapshot(state_b, count)
+        )
+        # The point-ownership map: global point k belongs to slot
+        # k % count; owners must agree for every point.
+        members_a, members_b = state_a.members(), state_b.members()
+        for point in range(3 * count):
+            assert members_a.get(point % count) == (
+                members_b.get(point % count)
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(case=two_interleavings())
+    def test_epoch_count_is_interleaving_blind(
+        self, case, tmp_path_factory
+    ):
+        count, first, second = case
+        base = tmp_path_factory.mktemp("epochs")
+        path_a, path_b = base / "a.ledger", base / "b.ledger"
+        write_ledger(path_a, first)
+        write_ledger(path_b, second)
+        a = LedgerState.scan(path_a, count)
+        b = LedgerState.scan(path_b, count)
+        assert a.epoch() == b.epoch() == len(a.epoch_history())
+
+
+class TestTornTails:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        script=fleet_scripts(),
+        torn_kind=st.sampled_from(["join", "depart", "heartbeat", "claim"]),
+        cut=st.integers(min_value=1, max_value=30),
+        rng=st.randoms(use_true_random=False),
+    )
+    def test_torn_membership_tail_ignored_like_torn_claim(
+        self, script, torn_kind, cut, rng, tmp_path_factory
+    ):
+        count, queues = script
+        records = [record for queue in queues for record in queue]
+        rng.shuffle(records)
+        base = tmp_path_factory.mktemp("torn")
+        whole, torn = base / "whole.ledger", base / "torn.ledger"
+        write_ledger(whole, records)
+        write_ledger(torn, records)
+        victim = {
+            "join": join_record(0, 9, 9),
+            "depart": depart_record(0, 9, 9, 0, None, "leave"),
+            "heartbeat": heartbeat_record(0, 99),
+            "claim": claim_record(0, 9, 9, 123),
+        }[torn_kind]
+        line = json.dumps(victim, sort_keys=True, separators=(",", ":"))
+        # A proper prefix of a compact JSON object is never valid JSON,
+        # so any cut point models a writer killed mid-append.
+        partial = line[: max(1, len(line) - cut)]
+        with open(torn, "a", encoding="utf-8") as handle:
+            handle.write("\n" + partial)
+        state_whole = LedgerState.scan(whole, count)
+        state_torn = LedgerState.scan(torn, count)
+        assert membership_snapshot(state_torn, count) == (
+            membership_snapshot(state_whole, count)
+        )
+        assert state_torn.duplicates == state_whole.duplicates
+
+
+class TestDuplicateRecords:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        script=fleet_scripts(), rng=st.randoms(use_true_random=False)
+    )
+    def test_membership_duplicates_are_first_wins_noops(
+        self, script, rng, tmp_path_factory
+    ):
+        count, queues = script
+        records = [record for queue in queues for record in queue]
+        rng.shuffle(records)
+        path = tmp_path_factory.mktemp("dups") / "dups.ledger"
+        write_ledger(path, records)
+        before = LedgerState.scan(path, count)
+        reference = membership_snapshot(before, count)
+        replayed = [
+            record
+            for record in records
+            if record["kind"] in ("shard-join", "shard-depart")
+        ]
+        for record in replayed:
+            # Same dedup key, mutated payload: first occurrence must
+            # win, exactly as for duplicated round records.
+            mutated = dict(record, round=7 + record["round"])
+            if mutated["kind"] == "shard-depart":
+                mutated["reason"] = "mutated"
+                mutated["adopter"] = 99
+            append_record(path, mutated)
+        after = LedgerState.scan(path, count)
+        snapshot = membership_snapshot(after, count)
+        # record_counts legitimately grows (appends happened); every
+        # *derived* membership fact must not.
+        reference.pop("record_counts")
+        snapshot.pop("record_counts")
+        assert snapshot == reference
+        assert after.duplicates == before.duplicates + len(replayed)
+
+
+# -- membership-blindness of allocation (real ledger) ----------------------
+
+
+@pytest.fixture(scope="module")
+def real_ledger(tmp_path_factory):
+    """A completed real ledger plus its baseline per-round grants."""
+    path = tmp_path_factory.mktemp("real") / "real.ledger"
+    chaos.run_member_inline(path, 0, 1)
+    text = Path(path).read_text(encoding="utf-8")
+    lines = [line for line in text.split("\n") if line.strip()]
+    state = LedgerState.scan(path, 1)
+    rounds = sorted({number for _slot, number in state.rounds})
+    unit = chaos.TRIALS // chaos.CHUNKS
+    baseline = {
+        number: safe_allocation(state, number, unit)
+        for number in rounds
+    }
+    assert any(
+        grants for grants in baseline.values()
+        if isinstance(grants, dict)
+    ), "chaos sweep produced no cross-round grants; fixture is vacuous"
+    return lines, rounds, unit, baseline
+
+
+def safe_allocation(state, number, unit):
+    try:
+        return state.allocation(number, unit)
+    except Exception as error:  # protocol-ended is part of the contract
+        return ("raised", type(error).__name__)
+
+
+@st.composite
+def membership_noise(draw):
+    kind = draw(st.sampled_from(["join", "depart", "heartbeat"]))
+    slot = draw(st.integers(min_value=0, max_value=3))
+    if kind == "join":
+        return join_record(slot, draw(st.integers(1, 5)), 0)
+    if kind == "depart":
+        return depart_record(
+            slot, draw(st.integers(0, 5)), 0, 0, None, "lease-expired"
+        )
+    return heartbeat_record(slot, draw(st.integers(0, 50)))
+
+
+class TestAllocationMembershipBlind:
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_spliced_membership_records_change_no_grants(
+        self, data, real_ledger, tmp_path_factory
+    ):
+        lines, rounds, unit, baseline = real_ledger
+        spliced = list(lines)
+        insertions = data.draw(
+            st.lists(membership_noise(), min_size=1, max_size=6)
+        )
+        for record in insertions:
+            position = data.draw(
+                st.integers(min_value=0, max_value=len(spliced))
+            )
+            spliced.insert(
+                position,
+                json.dumps(record, sort_keys=True, separators=(",", ":")),
+            )
+        path = tmp_path_factory.mktemp("blind") / "spliced.ledger"
+        path.write_text("\n".join(spliced) + "\n", encoding="utf-8")
+        state = LedgerState.scan(path, 1)
+        # The noise really landed (heartbeat-only draws advance no
+        # epoch; they leave beat marks instead)...
+        assert state.epoch() > 0 or state.heartbeats
+        for number in rounds:  # ...and no round's grants moved.
+            assert safe_allocation(state, number, unit) == (
+                baseline[number]
+            )

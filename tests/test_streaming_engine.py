@@ -8,6 +8,7 @@ audit trail carried through the ResultSet JSON round-trip.
 """
 
 import math
+from dataclasses import replace
 
 import numpy as np
 import pytest
@@ -451,8 +452,17 @@ class TestSharding:
         )
         with pytest.raises(ConfigurationError, match="missing"):
             merge_result_sets([s0])
-        with pytest.raises(ConfigurationError, match="duplicate"):
+        # Byte-identical duplicates collapse (an elastic fleet's
+        # zombie + adopter legitimately both produce a slot) — but a
+        # lone shard repeated still leaves the partition incomplete.
+        with pytest.raises(ConfigurationError, match="missing"):
             merge_result_sets([s0, s0])
+        assert merge_result_sets([s0, s1, s0]) == merge_result_sets(
+            [s0, s1]
+        )
+        conflicting = replace(s0, mc_token="not-the-same-run")
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            merge_result_sets([s0, s1, conflicting])
         bad = evaluate_design_space(
             cluster_space, methods=["avf_sofr"], reference="exact",
             shard=(1, 3),

@@ -209,26 +209,52 @@ class TestDuplicateShardRejection:
             paths.append(path)
         return paths
 
-    def test_merge_rejects_the_same_artifact_twice(
+    def test_identical_duplicate_dedups_conflicting_refused(
         self, cluster_space, tmp_path
     ):
         from repro.methods import ResultSet
 
-        shard0, _shard1 = self._shard_files(cluster_space, tmp_path)
-        twice = [ResultSet.from_json(shard0) for _ in range(2)]
+        shard0, shard1 = self._shard_files(cluster_space, tmp_path)
+        # An identical duplicate artifact is deduplicated (the elastic
+        # zombie + adopter case: both legitimately produced the slot,
+        # byte-for-byte the same) — the merge equals the honest one.
+        honest = merge_result_sets(
+            [ResultSet.from_json(shard0), ResultSet.from_json(shard1)]
+        )
+        deduped = merge_result_sets(
+            [
+                ResultSet.from_json(shard0),
+                ResultSet.from_json(shard0),
+                ResultSet.from_json(shard1),
+            ]
+        )
+        assert deduped == honest
+        # A duplicate slot with *different* contents is still refused.
+        import dataclasses
+
+        conflicting = dataclasses.replace(
+            ResultSet.from_json(shard0), mc_token="tampered"
+        )
         with pytest.raises(ConfigurationError, match="duplicate shard"):
-            merge_result_sets(twice)
+            merge_result_sets(
+                [
+                    ResultSet.from_json(shard0),
+                    conflicting,
+                    ResultSet.from_json(shard1),
+                ]
+            )
 
     def test_cli_merge_fails_loudly_on_duplicates(
         self, cluster_space, tmp_path, capsys
     ):
         shard0, shard1 = self._shard_files(cluster_space, tmp_path)
         out = tmp_path / "merged.json"
-        # Same artifact twice: exit code 1, no output file, loud reason.
+        # Same artifact twice is deduplicated to a lone shard 0, which
+        # is an incomplete partition: exit code 1, no file, loud reason.
         assert main(
             ["merge", str(shard0), str(shard0), "--json", str(out)]
         ) == 1
-        assert "duplicate shard" in capsys.readouterr().err
+        assert "missing shards" in capsys.readouterr().err
         assert not out.exists()
         # The honest partition still merges.
         assert main(
